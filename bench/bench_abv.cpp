@@ -1,0 +1,104 @@
+// ABV-loop rates (google-benchmark): valid-stimuli generation, mutation
+// injection, reference checking and full checker round trips — the paper's
+// Fig. 1 flow, quantified.
+#include <benchmark/benchmark.h>
+
+#include "abv/checker.hpp"
+#include "abv/mutate.hpp"
+#include "abv/stimuli.hpp"
+#include "mon/monitors.hpp"
+#include "psl/clause_monitor.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using namespace loom;
+
+constexpr const char* kProperty =
+    "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)";
+
+spec::Property parse(spec::Alphabet& ab) {
+  support::DiagnosticSink sink;
+  auto p = spec::parse_property(kProperty, ab, sink);
+  if (!p) throw std::runtime_error(sink.to_string());
+  return *p;
+}
+
+void BM_ReferenceCheck(benchmark::State& state) {
+  spec::Alphabet ab;
+  auto property = parse(ab);
+  support::Rng rng(3);
+  abv::StimuliOptions opt;
+  opt.rounds = static_cast<std::size_t>(state.range(0));
+  const spec::Trace trace = abv::generate_valid(property, ab, rng, opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spec::reference_check(property, trace, trace.back().time));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_ReferenceCheck)->Arg(16)->Arg(256);
+
+void BM_MutateAndDetect(benchmark::State& state) {
+  // One full negative-test round: mutate a valid trace, run the Drct
+  // monitor, observe the verdict.
+  spec::Alphabet ab;
+  auto property = parse(ab);
+  support::Rng rng(9);
+  abv::StimuliOptions opt;
+  opt.rounds = 16;
+  const spec::Trace valid = abv::generate_valid(property, ab, rng, opt);
+  const abv::MutationKind kinds[] = {
+      abv::MutationKind::Drop, abv::MutationKind::Duplicate,
+      abv::MutationKind::SwapAdjacent, abv::MutationKind::EarlyTrigger};
+  std::size_t detected = 0, produced = 0;
+  for (auto _ : state) {
+    auto mutant = abv::mutate(valid, kinds[produced % 4], property, rng);
+    ++produced;
+    if (!mutant) continue;
+    auto monitor = mon::make_monitor(property);
+    for (const auto& ev : mutant->trace) monitor->observe(ev.name, ev.time);
+    monitor->finish(mutant->trace.back().time);
+    if (monitor->verdict() == mon::Verdict::Violated) ++detected;
+    benchmark::DoNotOptimize(detected);
+  }
+  state.counters["detected_pct"] = produced == 0
+      ? 0.0
+      : 100.0 * static_cast<double>(detected) / static_cast<double>(produced);
+}
+BENCHMARK(BM_MutateAndDetect);
+
+void BM_CheckerFanout(benchmark::State& state) {
+  // Broadcast cost of one event into N mixed monitors.
+  spec::Alphabet ab;
+  auto property = parse(ab);
+  const auto monitors = static_cast<std::size_t>(state.range(0));
+  abv::Checker checker;
+  for (std::size_t k = 0; k < monitors; ++k) {
+    if (k % 2 == 0) {
+      checker.add("drct" + std::to_string(k), mon::make_monitor(property));
+    } else {
+      checker.add("psl" + std::to_string(k),
+                  std::make_unique<psl::ClauseMonitor>(psl::encode(property)));
+    }
+  }
+  support::Rng rng(4);
+  abv::StimuliOptions opt;
+  opt.rounds = 8;
+  const spec::Trace trace = abv::generate_valid(property, ab, rng, opt);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < checker.size(); ++k) {
+      checker.monitor(k).reset();
+    }
+    checker.run(trace, trace.back().time);
+    benchmark::DoNotOptimize(checker.all_passing());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_CheckerFanout)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// In-simulation monitoring overhead: the access-control platform simulated
+// with 0, 1, 2 and 4 attached monitors (google-benchmark).  Supports the
+// paper's motivation that Drct monitors are cheap enough to leave enabled
+// during TLM simulation.
+#include <benchmark/benchmark.h>
+
+#include "mon/monitors.hpp"
+#include "plat/platform.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using namespace loom;
+
+constexpr const char* kProperties[] = {
+    "(({set_imgAddr, set_glAddr, set_glSize}, &) << start, false)",
+    "(start => read_img[1,60000] < set_irq, 2ms)",
+    "(({set_imgAddr, set_glAddr}, &) << start, true)",
+    "(set_glSize << start, true)",
+};
+
+void BM_PlatformWithMonitors(benchmark::State& state) {
+  const auto monitor_count = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    plat::PlatformConfig cfg;
+    cfg.button_presses = 8;
+    cfg.press_interval = sim::Time::us(200);
+    plat::AccessControlPlatform platform(cfg);
+    auto& ab = platform.alphabet();
+
+    std::vector<std::unique_ptr<mon::Monitor>> monitors;
+    std::vector<std::unique_ptr<mon::MonitorModule>> modules;
+    for (std::size_t k = 0; k < monitor_count; ++k) {
+      support::DiagnosticSink sink;
+      auto p = spec::parse_property(kProperties[k], ab, sink);
+      monitors.push_back(mon::make_monitor(*p));
+      modules.push_back(std::make_unique<mon::MonitorModule>(
+          platform.scheduler(), "monitor" + std::to_string(k),
+          *monitors.back(), ab));
+    }
+    if (!modules.empty()) {
+      platform.observer().add_sink([&](spec::Name n, sim::Time t) {
+        for (auto& mod : modules) mod->observe(n, t);
+      });
+    }
+    platform.run(sim::Time::ms(2));
+    for (auto& mod : modules) mod->finish();
+    events += platform.observer().events_observed();
+    benchmark::DoNotOptimize(platform.cpu().rounds_completed());
+  }
+  state.SetLabel(std::to_string(monitor_count) + " monitors");
+  state.counters["ifc_events"] =
+      benchmark::Counter(static_cast<double>(events),
+                         benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PlatformWithMonitors)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PlatformKernelOnly(benchmark::State& state) {
+  // Raw kernel + TLM throughput without the access-control scenario: a
+  // floor for interpreting the numbers above.
+  for (auto _ : state) {
+    plat::PlatformConfig cfg;
+    cfg.button_presses = 0;
+    plat::AccessControlPlatform platform(cfg);
+    platform.run(sim::Time::ms(2));  // LCDC refresh traffic only
+    benchmark::DoNotOptimize(platform.lcdc().frames());
+  }
+  state.SetLabel("LCDC refresh only");
+}
+BENCHMARK(BM_PlatformKernelOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

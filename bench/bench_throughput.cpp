@@ -1,0 +1,137 @@
+// Runtime throughput (google-benchmark): events/second sustained by the
+// Drct monitors vs the materialized ViaPSL clause monitors, plus parser
+// and stimuli-generation rates.  Complements Figure 6's abstract op counts
+// with wall-clock numbers on this host.
+#include <benchmark/benchmark.h>
+
+#include "abv/stimuli.hpp"
+#include "mon/monitors.hpp"
+#include "psl/clause_monitor.hpp"
+#include "spec/parser.hpp"
+
+namespace {
+
+using namespace loom;
+
+struct Fixture {
+  spec::Alphabet ab;
+  spec::Property property;
+  spec::Trace trace;
+
+  explicit Fixture(const char* source, std::size_t rounds = 64)
+      : property(parse(source)) {
+    support::Rng rng(42);
+    abv::StimuliOptions opt;
+    opt.rounds = rounds;
+    trace = abv::generate_valid(property, ab, rng, opt);
+  }
+
+  spec::Property parse(const char* source) {
+    support::DiagnosticSink sink;
+    auto p = spec::parse_property(source, ab, sink);
+    if (!p) throw std::runtime_error(sink.to_string());
+    return *p;
+  }
+};
+
+const char* kConfig[] = {
+    "(n << i, true)",
+    "(({n1, n2, n3, n4}, &) << i, false)",
+    "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)",
+    "(n1 => n2 < n3 < n4, 1ms)",
+};
+
+void BM_DrctMonitor(benchmark::State& state) {
+  Fixture fx(kConfig[state.range(0)]);
+  auto monitor = mon::make_monitor(fx.property);
+  for (auto _ : state) {
+    monitor->reset();
+    for (const auto& ev : fx.trace) monitor->observe(ev.name, ev.time);
+    benchmark::DoNotOptimize(monitor->verdict());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.size()));
+  state.SetLabel(kConfig[state.range(0)]);
+}
+BENCHMARK(BM_DrctMonitor)->DenseRange(0, 3);
+
+void BM_ViaPslMonitor(benchmark::State& state) {
+  Fixture fx(kConfig[state.range(0)]);
+  psl::ClauseMonitor monitor(psl::encode(fx.property));
+  for (auto _ : state) {
+    monitor.reset();
+    for (const auto& ev : fx.trace) monitor.observe(ev.name, ev.time);
+    benchmark::DoNotOptimize(monitor.verdict());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.size()));
+  state.SetLabel(kConfig[state.range(0)]);
+}
+BENCHMARK(BM_ViaPslMonitor)->DenseRange(0, 3);
+
+void BM_ViaPslWideRange(benchmark::State& state) {
+  // Materialized ViaPSL with a growing range width: the per-event cost of
+  // the clause network grows quadratically until materialization becomes
+  // impossible (the Figure 6 [100,60K] rows).
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  const std::string source =
+      "(n[1," + std::to_string(width) + "] << i, true)";
+  Fixture fx(source.c_str(), 8);
+  psl::ClauseMonitor monitor(psl::encode(fx.property));
+  for (auto _ : state) {
+    monitor.reset();
+    for (const auto& ev : fx.trace) monitor.observe(ev.name, ev.time);
+    benchmark::DoNotOptimize(monitor.verdict());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.size()));
+  state.SetComplexityN(width);
+}
+BENCHMARK(BM_ViaPslWideRange)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_DrctWideRange(benchmark::State& state) {
+  const auto width = static_cast<std::uint32_t>(state.range(0));
+  const std::string source =
+      "(n[1," + std::to_string(width) + "] << i, true)";
+  Fixture fx(source.c_str(), 8);
+  auto monitor = mon::make_monitor(fx.property);
+  for (auto _ : state) {
+    monitor->reset();
+    for (const auto& ev : fx.trace) monitor->observe(ev.name, ev.time);
+    benchmark::DoNotOptimize(monitor->verdict());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.size()));
+  state.SetComplexityN(width);
+}
+BENCHMARK(BM_DrctWideRange)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_ParseProperty(benchmark::State& state) {
+  const char* source =
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)";
+  for (auto _ : state) {
+    spec::Alphabet ab;
+    support::DiagnosticSink sink;
+    benchmark::DoNotOptimize(spec::parse_property(source, ab, sink));
+  }
+}
+BENCHMARK(BM_ParseProperty);
+
+void BM_GenerateStimuli(benchmark::State& state) {
+  Fixture fx(kConfig[2], 1);
+  support::Rng rng(5);
+  abv::StimuliOptions opt;
+  opt.rounds = static_cast<std::size_t>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    auto t = abv::generate_valid(fx.property, fx.ab, rng, opt);
+    events += t.size();
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_GenerateStimuli)->Arg(16)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// loomcheck: offline trace checker — the library as a command-line tool.
+//
+//   loomcheck PROPERTIES.lo TRACE.txt [--psl] [--dot OUT.dot]
+//
+// PROPERTIES.lo holds one property per line ('#' comments allowed), e.g.
+//     (({set_imgAddr, set_glAddr, set_glSize}, &) << start, false)
+//     (start => read_img[1,60000] < set_irq, 2ms)
+// TRACE.txt holds one "name@picoseconds" entry per line (the format
+// written by abv::to_text and by the platform's trace recorder).
+//
+// Exit status: 0 when every property passes, 1 on any violation, 2 on
+// usage/parse errors.  With no arguments, runs a built-in demo.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "abv/checker.hpp"
+#include "abv/trace.hpp"
+#include "mon/monitors.hpp"
+#include "psl/clause_monitor.hpp"
+#include "spec/export.hpp"
+#include "spec/parser.hpp"
+#include "spec/wellformed.hpp"
+
+namespace {
+
+using namespace loom;
+
+std::optional<std::string> slurp(const char* path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int run_demo() {
+  std::printf(
+      "usage: loomcheck PROPERTIES.lo TRACE.txt [--psl] [--dot OUT.dot]\n\n"
+      "running the built-in demo instead:\n\n");
+  spec::Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = spec::parse_property("(({cfg_a, cfg_b}, &) << go, true)", ab, sink);
+  auto monitor = mon::make_monitor(*p);
+  const char* events[] = {"cfg_b", "cfg_a", "go", "cfg_a", "go"};
+  sim::Time now;
+  for (const char* name : events) {
+    now += sim::Time::ns(5);
+    std::printf("  observe %-8s", name);
+    monitor->observe(ab.name(name), now);
+    std::printf("-> %s\n", mon::to_string(monitor->verdict()));
+  }
+  if (monitor->violation()) {
+    std::printf("  %s\n", monitor->violation()->to_string(ab).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return run_demo();
+
+  bool use_psl = false;
+  const char* dot_path = nullptr;
+  for (int k = 3; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--psl") == 0) {
+      use_psl = true;
+    } else if (std::strcmp(argv[k], "--dot") == 0 && k + 1 < argc) {
+      dot_path = argv[++k];
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[k]);
+      return 2;
+    }
+  }
+
+  const auto prop_text = slurp(argv[1]);
+  const auto trace_text = slurp(argv[2]);
+  if (!prop_text || !trace_text) {
+    std::fprintf(stderr, "cannot read %s\n", !prop_text ? argv[1] : argv[2]);
+    return 2;
+  }
+
+  spec::Alphabet ab;
+  abv::Checker checker;
+  std::vector<spec::Property> properties;
+
+  std::istringstream lines(*prop_text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    support::DiagnosticSink sink;
+    auto p = spec::parse_property(line, ab, sink);
+    if (!p || !spec::check_wellformed(*p, ab, sink)) {
+      std::fprintf(stderr, "%s:%zu: bad property:\n%s\n", argv[1], line_no,
+                   sink.to_string().c_str());
+      return 2;
+    }
+    properties.push_back(*p);
+    if (use_psl) {
+      checker.add(line, std::make_unique<psl::ClauseMonitor>(
+                            psl::encode(*p, 2000000, &ab)));
+    } else {
+      checker.add(line, mon::make_monitor(*p));
+    }
+  }
+  if (properties.empty()) {
+    std::fprintf(stderr, "%s: no properties\n", argv[1]);
+    return 2;
+  }
+
+  support::DiagnosticSink trace_sink;
+  auto trace = abv::from_text(*trace_text, ab, trace_sink);
+  if (!trace) {
+    std::fprintf(stderr, "%s: bad trace:\n%s\n", argv[2],
+                 trace_sink.to_string().c_str());
+    return 2;
+  }
+
+  if (dot_path != nullptr) {
+    std::ofstream dot(dot_path);
+    dot << spec::to_dot(properties.front(), ab);
+    std::printf("wrote %s (syntax tree of the first property)\n", dot_path);
+  }
+
+  checker.run(*trace, trace->empty() ? sim::Time::zero()
+                                     : trace->back().time);
+  std::printf("%zu events checked against %zu properties (%s monitors)\n\n",
+              trace->size(), checker.size(), use_psl ? "ViaPSL" : "Drct");
+  std::printf("%s", checker.summary(ab).c_str());
+  return checker.all_passing() ? 0 : 1;
+}

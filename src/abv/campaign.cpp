@@ -1,0 +1,127 @@
+#include "abv/campaign.hpp"
+
+#include <cstdio>
+
+#include "mon/monitors.hpp"
+#include "psl/clause_monitor.hpp"
+
+namespace loom::abv {
+namespace {
+
+constexpr MutationKind kAllKinds[5] = {
+    MutationKind::Drop, MutationKind::Duplicate, MutationKind::SwapAdjacent,
+    MutationKind::EarlyTrigger, MutationKind::StallDeadline};
+
+sim::Time end_of(const spec::Trace& t) {
+  return t.empty() ? sim::Time::zero() : t.back().time;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const spec::Property& property,
+                            spec::Alphabet& ab,
+                            const CampaignOptions& options) {
+  CampaignResult result;
+  AlphabetCoverage alphabet_cov(property.alphabet());
+  double recognizer_cov = 1.0;
+
+  std::optional<psl::Encoding> encoding;
+  if (options.check_viapsl) {
+    encoding = psl::encode(property, 2000000, &ab);
+  }
+
+  for (std::size_t s = 0; s < options.seeds; ++s) {
+    support::Rng rng(options.first_seed + s);
+    const spec::Trace valid =
+        generate_valid(property, ab, rng, options.stimuli);
+    ++result.traces;
+    result.events += valid.size();
+
+    // Valid stimuli through the Drct monitor (with coverage sampling for
+    // antecedents) and the oracle.
+    auto monitor = mon::make_monitor(property);
+    std::optional<RecognizerCoverage> rec_cov;
+    if (property.is_antecedent()) {
+      rec_cov.emplace(
+          static_cast<const mon::AntecedentMonitor&>(*monitor));
+    }
+    for (const auto& ev : valid) {
+      monitor->observe(ev.name, ev.time);
+      alphabet_cov.record(ev.name);
+      if (rec_cov) rec_cov->sample();
+    }
+    monitor->finish(end_of(valid));
+    if (rec_cov) recognizer_cov = rec_cov->state_ratio();
+
+    const auto ref = spec::reference_check(property, valid, end_of(valid));
+    const bool monitor_ok = monitor->verdict() != mon::Verdict::Violated;
+    if (monitor_ok && !ref.rejected()) ++result.valid_accepted;
+    if (monitor_ok == ref.rejected()) ++result.oracle_disagreements;
+
+    if (encoding) {
+      psl::ClauseMonitor viapsl(*encoding);
+      for (const auto& ev : valid) viapsl.observe(ev.name, ev.time);
+      viapsl.finish(end_of(valid));
+      if (!ref.rejected() && viapsl.verdict() == mon::Verdict::Violated) {
+        ++result.viapsl_false_alarms;
+      }
+    }
+
+    // Mutation phase.
+    for (std::size_t k = 0; k < 5; ++k) {
+      auto& stats = result.mutation[k];
+      for (std::size_t m = 0; m < options.mutants_per_kind; ++m) {
+        auto mutant = mutate(valid, kAllKinds[k], property, rng);
+        if (!mutant) continue;
+        ++stats.applied;
+        const auto mref = spec::reference_check(property, mutant->trace,
+                                                end_of(mutant->trace));
+        if (!mref.rejected()) continue;
+        ++stats.invalid;
+        auto mmon = mon::make_monitor(property);
+        for (const auto& ev : mutant->trace) {
+          mmon->observe(ev.name, ev.time);
+        }
+        mmon->finish(end_of(mutant->trace));
+        if (mmon->verdict() == mon::Verdict::Violated) {
+          ++stats.detected;
+        } else {
+          ++stats.missed;
+        }
+      }
+    }
+  }
+
+  result.alphabet_coverage = alphabet_cov.ratio();
+  result.recognizer_state_coverage = recognizer_cov;
+  return result;
+}
+
+std::string CampaignResult::report(const spec::Alphabet&) const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "campaign: %zu traces (%zu events), %zu accepted, "
+                "%zu oracle disagreements, %zu ViaPSL false alarms\n",
+                traces, events, valid_accepted, oracle_disagreements,
+                viapsl_false_alarms);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "coverage: alphabet %.0f%%, recognizer states %.0f%%\n",
+                alphabet_coverage * 100.0,
+                recognizer_state_coverage * 100.0);
+  out += buf;
+  for (std::size_t k = 0; k < 5; ++k) {
+    const auto& m = mutation[k];
+    std::snprintf(buf, sizeof buf,
+                  "mutation %-14s: %3zu applied, %3zu invalid, %3zu "
+                  "detected, %zu missed\n",
+                  to_string(kAllKinds[k]), m.applied, m.invalid, m.detected,
+                  m.missed);
+    out += buf;
+  }
+  out += ok() ? "campaign PASSED\n" : "campaign FAILED\n";
+  return out;
+}
+
+}  // namespace loom::abv

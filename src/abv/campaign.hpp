@@ -1,0 +1,62 @@
+// Verification campaign runner: the paper's Fig. 1 loop as one call.
+//
+// For a property, run_campaign() generates valid stimuli across seeds,
+// checks them with the Drct monitor and the declarative reference, then
+// applies every mutation operator repeatedly and records how violations
+// are detected.  The result aggregates pass/fail counts, mutation-kill
+// statistics and structural coverage — the input the paper's "coverage
+// improver" would consume.
+#pragma once
+
+#include <string>
+
+#include "abv/coverage.hpp"
+#include "abv/mutate.hpp"
+#include "abv/stimuli.hpp"
+
+namespace loom::abv {
+
+struct CampaignOptions {
+  std::uint64_t first_seed = 1;
+  std::size_t seeds = 10;
+  StimuliOptions stimuli;           // rounds / noise per generated trace
+  std::size_t mutants_per_kind = 10;
+  bool check_viapsl = false;        // additionally run the ViaPSL monitor
+};
+
+struct MutationStats {
+  std::size_t applied = 0;    // mutation operator produced a trace
+  std::size_t invalid = 0;    // reference rejected the mutant
+  std::size_t detected = 0;   // Drct monitor rejected it too
+  std::size_t missed = 0;     // reference rejected but the monitor did not
+};
+
+struct CampaignResult {
+  std::size_t traces = 0;
+  std::size_t events = 0;
+  std::size_t valid_accepted = 0;   // valid traces accepted by the monitor
+  std::size_t oracle_disagreements = 0;  // monitor verdict != reference
+  std::size_t viapsl_false_alarms = 0;   // ViaPSL rejected a reference-pass
+  MutationStats mutation[5];        // indexed by MutationKind
+  double alphabet_coverage = 0.0;
+  double recognizer_state_coverage = 0.0;  // antecedents only; else 1.0
+
+  /// A healthy campaign: monitors agree with the oracle everywhere, all
+  /// valid traces pass, and no invalid mutant escapes detection.
+  bool ok() const {
+    if (oracle_disagreements != 0 || viapsl_false_alarms != 0) return false;
+    if (valid_accepted != traces) return false;
+    for (const auto& m : mutation) {
+      if (m.missed != 0) return false;
+    }
+    return true;
+  }
+
+  std::string report(const spec::Alphabet& ab) const;
+};
+
+CampaignResult run_campaign(const spec::Property& property,
+                            spec::Alphabet& ab,
+                            const CampaignOptions& options);
+
+}  // namespace loom::abv

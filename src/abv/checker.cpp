@@ -1,0 +1,55 @@
+#include "abv/checker.hpp"
+
+namespace loom::abv {
+
+std::size_t Checker::add(std::string name,
+                         std::unique_ptr<mon::Monitor> monitor) {
+  entries_.push_back({std::move(name), std::move(monitor)});
+  return entries_.size() - 1;
+}
+
+void Checker::observe(spec::Name name, sim::Time time) {
+  for (auto& e : entries_) e.monitor->observe(name, time);
+}
+
+void Checker::finish(sim::Time end_time) {
+  for (auto& e : entries_) e.monitor->finish(end_time);
+}
+
+void Checker::run(const spec::Trace& trace, sim::Time end_time) {
+  for (const auto& ev : trace) observe(ev.name, ev.time);
+  finish(end_time);
+}
+
+bool Checker::all_passing() const { return violation_count() == 0; }
+
+std::size_t Checker::violation_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.monitor->verdict() == mon::Verdict::Violated) ++n;
+  }
+  return n;
+}
+
+std::vector<Checker::Report> Checker::reports() const {
+  std::vector<Report> out;
+  for (const auto& e : entries_) {
+    out.push_back({e.name, e.monitor->verdict(), e.monitor->violation()});
+  }
+  return out;
+}
+
+std::string Checker::summary(const spec::Alphabet& ab) const {
+  std::string out;
+  for (const auto& e : entries_) {
+    out += "[" + std::string(mon::to_string(e.monitor->verdict())) + "] " +
+           e.name;
+    if (e.monitor->violation().has_value()) {
+      out += "\n    " + e.monitor->violation()->to_string(ab);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace loom::abv

@@ -1,0 +1,56 @@
+// The assertion checker of the paper's Fig. 1 verification framework:
+// fans observed events out to a set of property monitors (Drct, ViaPSL or
+// mixed) and aggregates their verdicts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mon/verdict.hpp"
+#include "spec/reference.hpp"
+
+namespace loom::abv {
+
+class Checker {
+ public:
+  /// Registers a monitor under a display name; returns its index.
+  std::size_t add(std::string name, std::unique_ptr<mon::Monitor> monitor);
+
+  std::size_t size() const { return entries_.size(); }
+  mon::Monitor& monitor(std::size_t index) { return *entries_[index].monitor; }
+  const std::string& name(std::size_t index) const {
+    return entries_[index].name;
+  }
+
+  /// Broadcasts an event to every monitor.
+  void observe(spec::Name name, sim::Time time);
+  /// Broadcasts end-of-observation.
+  void finish(sim::Time end_time);
+
+  /// Replays a full recorded trace.
+  void run(const spec::Trace& trace, sim::Time end_time);
+
+  /// True when no monitor reported a violation.
+  bool all_passing() const;
+  std::size_t violation_count() const;
+
+  struct Report {
+    std::string name;
+    mon::Verdict verdict = mon::Verdict::Monitoring;
+    std::optional<mon::Violation> violation;
+  };
+  std::vector<Report> reports() const;
+
+  /// Multi-line human-readable summary.
+  std::string summary(const spec::Alphabet& ab) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<mon::Monitor> monitor;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace loom::abv

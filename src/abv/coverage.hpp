@@ -1,0 +1,73 @@
+// Coverage measurement (the "coverage improver" input of the paper's
+// Fig. 1): which part of a property's behaviour a stimuli set exercised.
+//
+//   AlphabetCoverage    which interface names were observed at all;
+//   RecognizerCoverage  which states of each Fig. 5 range recognizer were
+//                       visited and whether the block-length bounds u and v
+//                       were actually hit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mon/antecedent_monitor.hpp"
+
+namespace loom::abv {
+
+class AlphabetCoverage {
+ public:
+  explicit AlphabetCoverage(spec::NameSet alphabet)
+      : alphabet_(std::move(alphabet)) {}
+
+  void record(spec::Name name) {
+    if (alphabet_.test(name)) seen_.set(name);
+  }
+
+  std::size_t total() const { return alphabet_.count(); }
+  std::size_t covered() const { return seen_.count(); }
+  double ratio() const {
+    return total() == 0 ? 1.0
+                        : static_cast<double>(covered()) /
+                              static_cast<double>(total());
+  }
+  spec::NameSet missed() const {
+    spec::NameSet m = alphabet_;
+    m.subtract(seen_);
+    return m;
+  }
+  std::string report(const spec::Alphabet& ab) const;
+
+ private:
+  spec::NameSet alphabet_;
+  spec::NameSet seen_;
+};
+
+/// Structural coverage of a Drct antecedent monitor: call sample() after
+/// every observed event.
+class RecognizerCoverage {
+ public:
+  explicit RecognizerCoverage(const mon::AntecedentMonitor& monitor);
+
+  void sample();
+
+  /// Visited states over reachable states (6 per range recognizer).
+  double state_ratio() const;
+  /// Ranges whose block length reached the lower / upper bound.
+  std::size_t lo_bound_hits() const;
+  std::size_t hi_bound_hits() const;
+
+  std::string report(const spec::Alphabet& ab) const;
+
+ private:
+  struct RangeCov {
+    spec::Name name = spec::kInvalidName;
+    std::uint8_t state_mask = 0;  // bit per RangeRecognizer::State
+    std::uint32_t max_count = 0;
+    std::uint32_t lo = 1, hi = 1;
+  };
+  const mon::AntecedentMonitor* monitor_;
+  std::vector<std::vector<RangeCov>> per_fragment_;
+};
+
+}  // namespace loom::abv

@@ -1,0 +1,102 @@
+#include "abv/mutate.hpp"
+
+#include <algorithm>
+
+namespace loom::abv {
+
+const char* to_string(MutationKind k) {
+  switch (k) {
+    case MutationKind::Drop: return "drop";
+    case MutationKind::Duplicate: return "duplicate";
+    case MutationKind::SwapAdjacent: return "swap-adjacent";
+    case MutationKind::EarlyTrigger: return "early-trigger";
+    case MutationKind::StallDeadline: return "stall-deadline";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Indices of trace events that belong to the property alphabet.
+std::vector<std::size_t> relevant_positions(const spec::Trace& trace,
+                                            const spec::NameSet& alphabet) {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 0; k < trace.size(); ++k) {
+    if (alphabet.test(trace[k].name)) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<MutationResult> mutate(const spec::Trace& trace,
+                                     MutationKind kind,
+                                     const spec::Property& property,
+                                     support::Rng& rng) {
+  const spec::NameSet alphabet = property.alphabet();
+  const auto sites = relevant_positions(trace, alphabet);
+  MutationResult result;
+  result.kind = kind;
+  result.trace = trace;
+
+  switch (kind) {
+    case MutationKind::Drop: {
+      if (sites.empty()) return std::nullopt;
+      const std::size_t pos = sites[rng.below(sites.size())];
+      result.trace.erase(result.trace.begin() + static_cast<long>(pos));
+      result.position = pos;
+      return result;
+    }
+    case MutationKind::Duplicate: {
+      if (sites.empty()) return std::nullopt;
+      const std::size_t pos = sites[rng.below(sites.size())];
+      spec::TimedEvent copy = trace[pos];
+      copy.time = copy.time + sim::Time::ps(1);
+      result.trace.insert(result.trace.begin() + static_cast<long>(pos) + 1,
+                          copy);
+      result.position = pos;
+      return result;
+    }
+    case MutationKind::SwapAdjacent: {
+      // Swap the names of two consecutive relevant events (times stay put,
+      // so the trace remains chronologically ordered).
+      if (sites.size() < 2) return std::nullopt;
+      const std::size_t k = rng.below(sites.size() - 1);
+      const std::size_t a = sites[k], b = sites[k + 1];
+      if (result.trace[a].name == result.trace[b].name) return std::nullopt;
+      std::swap(result.trace[a].name, result.trace[b].name);
+      result.position = a;
+      return result;
+    }
+    case MutationKind::EarlyTrigger: {
+      spec::Name reset = spec::kInvalidName;
+      if (property.is_antecedent()) {
+        reset = property.antecedent().trigger;
+      } else {
+        const auto& frags = property.timed().consequent.fragments;
+        reset = frags.back().ranges.front().name;
+      }
+      if (trace.empty()) return std::nullopt;
+      const std::size_t pos = rng.below(trace.size());
+      spec::TimedEvent ev{reset, trace[pos].time + sim::Time::ps(1)};
+      result.trace.insert(result.trace.begin() + static_cast<long>(pos) + 1,
+                          ev);
+      result.position = pos + 1;
+      return result;
+    }
+    case MutationKind::StallDeadline: {
+      if (!property.is_timed() || trace.size() < 2) return std::nullopt;
+      const sim::Time bound = property.timed().bound;
+      const std::size_t pos = 1 + rng.below(trace.size() - 1);
+      const sim::Time shift = bound + bound + sim::Time::ns(1);
+      for (std::size_t k = pos; k < result.trace.size(); ++k) {
+        result.trace[k].time = result.trace[k].time + shift;
+      }
+      result.position = pos;
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace loom::abv

@@ -1,0 +1,43 @@
+// Mutation operators: violation injection for negative testing.
+//
+// Each operator perturbs a (typically valid) trace in a way that tends to
+// violate a loose-ordering property: dropping a required event, duplicating
+// a block element past its bound, swapping events across a fragment
+// boundary, firing the trigger early, or stalling a timed consequent past
+// its deadline.  Not every mutation of every trace yields a violation (a
+// swap inside a fragment is legal by design!): callers decide expected
+// verdicts with the reference checker.
+#pragma once
+
+#include <optional>
+
+#include "spec/ast.hpp"
+#include "spec/reference.hpp"
+#include "support/rng.hpp"
+
+namespace loom::abv {
+
+enum class MutationKind {
+  Drop,          // remove one property event
+  Duplicate,     // repeat one property event
+  SwapAdjacent,  // exchange two neighbouring property events
+  EarlyTrigger,  // insert the trigger / reset name early
+  StallDeadline, // push a suffix past the timed bound
+};
+
+const char* to_string(MutationKind k);
+
+struct MutationResult {
+  spec::Trace trace;
+  MutationKind kind = MutationKind::Drop;
+  std::size_t position = 0;
+};
+
+/// Applies `kind` at a random applicable position; nullopt when the trace
+/// offers no applicable site (e.g. StallDeadline on an antecedent).
+std::optional<MutationResult> mutate(const spec::Trace& trace,
+                                     MutationKind kind,
+                                     const spec::Property& property,
+                                     support::Rng& rng);
+
+}  // namespace loom::abv

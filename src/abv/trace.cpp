@@ -1,0 +1,44 @@
+#include "abv/trace.hpp"
+
+#include <sstream>
+
+namespace loom::abv {
+
+std::string to_text(const spec::Trace& trace, const spec::Alphabet& ab) {
+  std::string out;
+  for (const auto& ev : trace) {
+    out += ab.text(ev.name) + "@" + std::to_string(ev.time.picoseconds()) +
+           "\n";
+  }
+  return out;
+}
+
+std::optional<spec::Trace> from_text(std::string_view text,
+                                     spec::Alphabet& ab,
+                                     support::DiagnosticSink& sink) {
+  spec::Trace trace;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto at = line.find('@');
+    if (at == std::string::npos || at == 0) {
+      sink.error({line_no, 1}, "expected 'name@picoseconds': " + line);
+      return std::nullopt;
+    }
+    const std::string name = line.substr(0, at);
+    std::uint64_t ps = 0;
+    try {
+      ps = std::stoull(line.substr(at + 1));
+    } catch (const std::exception&) {
+      sink.error({line_no, at + 2}, "bad timestamp in: " + line);
+      return std::nullopt;
+    }
+    trace.push_back({ab.name(name), sim::Time::ps(ps)});
+  }
+  return trace;
+}
+
+}  // namespace loom::abv

@@ -1,0 +1,36 @@
+// Trace utilities: text serialization ("name@time_ps" lines) and an event
+// recorder used by the platform observation adapters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "spec/reference.hpp"
+#include "support/diagnostics.hpp"
+
+namespace loom::abv {
+
+/// Serializes a trace, one "name@picoseconds" entry per line.
+std::string to_text(const spec::Trace& trace, const spec::Alphabet& ab);
+
+/// Parses the to_text format; unknown names are interned on the fly.
+std::optional<spec::Trace> from_text(std::string_view text,
+                                     spec::Alphabet& ab,
+                                     support::DiagnosticSink& sink);
+
+/// Accumulates observed events (e.g. from a TLM observation adapter) for
+/// later replay against monitors or the reference checker.
+class TraceRecorder {
+ public:
+  void record(spec::Name name, sim::Time time) {
+    trace_.push_back({name, time});
+  }
+  const spec::Trace& trace() const { return trace_; }
+  void clear() { trace_.clear(); }
+
+ private:
+  spec::Trace trace_;
+};
+
+}  // namespace loom::abv

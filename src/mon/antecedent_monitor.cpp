@@ -1,0 +1,64 @@
+#include "mon/antecedent_monitor.hpp"
+
+namespace loom::mon {
+
+AntecedentMonitor::AntecedentMonitor(spec::Antecedent property)
+    : property_(std::move(property)),
+      plan_(spec::plan_antecedent(property_)),
+      recognizer_(plan_, stats_) {
+  recognizer_.activate();
+}
+
+void AntecedentMonitor::observe(spec::Name name, sim::Time time) {
+  const auto before = stats_.begin_event();
+  const std::size_t ordinal = ordinal_++;
+  if (verdict_ == Verdict::Holds || verdict_ == Verdict::Violated) {
+    stats_.end_event(before);
+    return;  // retired
+  }
+  stats_.add();  // alphabet filter
+  if (!plan_.alphabet.test(name)) {
+    stats_.end_event(before);
+    return;
+  }
+  switch (recognizer_.step(name, time)) {
+    case OrderingRecognizer::Out::None:
+      verdict_ = recognizer_.in_progress() ? Verdict::Pending
+                                           : Verdict::Monitoring;
+      break;
+    case OrderingRecognizer::Out::Completed:
+      ++validated_;
+      if (property_.repeated) {
+        recognizer_.restart();
+        verdict_ = Verdict::Monitoring;
+      } else {
+        verdict_ = Verdict::Holds;
+      }
+      break;
+    case OrderingRecognizer::Out::Err:
+      verdict_ = Verdict::Violated;
+      violation_ = Violation{ordinal, time, name, recognizer_.error_reason()};
+      break;
+  }
+  stats_.end_event(before);
+}
+
+void AntecedentMonitor::finish(sim::Time) {
+  // Antecedent requirements are pure safety properties: nothing to check at
+  // the end of observation; a Pending verdict means "weakly holds".
+}
+
+std::size_t AntecedentMonitor::space_bits() const {
+  return recognizer_.space_bits() + 2;  // verdict encoding
+}
+
+void AntecedentMonitor::reset() {
+  recognizer_.restart();
+  verdict_ = Verdict::Monitoring;
+  violation_.reset();
+  validated_ = 0;
+  ordinal_ = 0;
+  stats_.reset();
+}
+
+}  // namespace loom::mon

@@ -1,0 +1,21 @@
+// Aggregate header for the Drct monitors plus a factory from parsed
+// properties.
+#pragma once
+
+#include <memory>
+
+#include "mon/antecedent_monitor.hpp"
+#include "mon/monitor_module.hpp"
+#include "mon/timed_monitor.hpp"
+
+namespace loom::mon {
+
+/// Builds the Drct monitor matching the property kind.
+inline std::unique_ptr<Monitor> make_monitor(const spec::Property& p) {
+  if (p.is_antecedent()) {
+    return std::make_unique<AntecedentMonitor>(p.antecedent());
+  }
+  return std::make_unique<TimedImplicationMonitor>(p.timed());
+}
+
+}  // namespace loom::mon

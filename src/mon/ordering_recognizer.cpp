@@ -1,0 +1,57 @@
+#include "mon/ordering_recognizer.hpp"
+
+namespace loom::mon {
+
+OrderingRecognizer::OrderingRecognizer(const spec::OrderingPlan& plan,
+                                       MonitorStats& stats)
+    : plan_(&plan), stats_(&stats) {
+  fragments_.reserve(plan.fragments.size());
+  for (const auto& fp : plan.fragments) fragments_.emplace_back(fp, stats);
+}
+
+void OrderingRecognizer::activate() {
+  active_ = 0;
+  fragments_.front().start();
+}
+
+void OrderingRecognizer::restart() {
+  for (auto& f : fragments_) f.reset();
+  error_reason_.clear();
+  activate();
+}
+
+OrderingRecognizer::Out OrderingRecognizer::step(spec::Name name,
+                                                 sim::Time time) {
+  stats_->add();  // active-fragment dispatch
+  switch (fragments_[active_].step(name, time)) {
+    case FragmentRecognizer::Out::None:
+      return Out::None;
+    case FragmentRecognizer::Out::Err:
+      error_reason_ = fragments_[active_].error_reason();
+      return Out::Err;
+    case FragmentRecognizer::Out::Ok:
+      break;
+  }
+  if (active_ + 1 == fragments_.size()) return Out::Completed;
+  ++active_;
+  stats_->add();
+  fragments_[active_].start();
+  // The stopping name of the previous fragment is the first event of the
+  // new one; by construction it lies in the new fragment's alphabet, so
+  // this nested step can neither complete nor fail.
+  (void)fragments_[active_].step(name, time);
+  return Out::None;
+}
+
+bool OrderingRecognizer::in_progress() const {
+  if (active_ > 0) return true;
+  return fragments_.front().in_progress();
+}
+
+std::size_t OrderingRecognizer::space_bits() const {
+  std::size_t bits = bits_for_value(fragments_.size());
+  for (const auto& f : fragments_) bits += f.space_bits();
+  return bits;
+}
+
+}  // namespace loom::mon

@@ -1,0 +1,145 @@
+#include "mon/range_recognizer.hpp"
+
+namespace loom::mon {
+
+const char* to_string(RangeRecognizer::State s) {
+  switch (s) {
+    case RangeRecognizer::State::Idle: return "s0/idle";
+    case RangeRecognizer::State::WaitFirst: return "s1/wait-first";
+    case RangeRecognizer::State::WaitFirstSibling: return "s2/wait-sibling";
+    case RangeRecognizer::State::Counting: return "s3/counting";
+    case RangeRecognizer::State::DoneSibling: return "s4/done-sibling";
+    case RangeRecognizer::State::Error: return "s5/error";
+  }
+  return "?";
+}
+
+void RangeRecognizer::start() {
+  stats_->add();  // state assignment
+  state_ = State::WaitFirst;
+  cpt_ = 0;
+}
+
+void RangeRecognizer::reset() {
+  state_ = State::Idle;
+  cpt_ = 0;
+  error_reason_.clear();
+}
+
+RangeRecognizer::Out RangeRecognizer::fail(std::string reason) {
+  stats_->add();
+  state_ = State::Error;
+  error_reason_ = std::move(reason);
+  return Out::Err;
+}
+
+RangeRecognizer::Out RangeRecognizer::step(spec::Name name) {
+  // Classification of the event in this recognizer's context.  Each test
+  // counts as one operation; tests are evaluated lazily per state.
+  const auto is_n = [&] {
+    stats_->add();
+    return name == plan_->name;
+  };
+  const auto in_c = [&] {
+    stats_->add();
+    return plan_->siblings.test(name);
+  };
+  const auto in_ac = [&] {
+    stats_->add();
+    return plan_->accept.test(name);
+  };
+
+  switch (state_) {
+    case State::Idle:
+      return Out::None;  // not started; the fragment routes no events here
+
+    case State::WaitFirst:  // s1
+      if (is_n()) {
+        stats_->add(2);  // state + counter assignment
+        state_ = State::Counting;
+        cpt_ = 1;
+        return Out::None;
+      }
+      if (in_c()) {
+        stats_->add();
+        state_ = State::WaitFirstSibling;
+        return Out::None;
+      }
+      if (in_ac()) {
+        return fail("fragment stopped before any of its ranges started");
+      }
+      return fail("name from outside the active fragment (B or Af)");
+
+    case State::WaitFirstSibling:  // s2
+      if (is_n()) {
+        stats_->add(2);
+        state_ = State::Counting;
+        cpt_ = 1;
+        return Out::None;
+      }
+      if (in_c()) return Out::None;
+      if (in_ac()) {
+        stats_->add();  // join test
+        if (plan_->parent_join == spec::Join::Disj) {
+          stats_->add();
+          state_ = State::Idle;
+          return Out::Nok;
+        }
+        return fail(
+            "conjunctive fragment stopped before one of its ranges was "
+            "observed");
+      }
+      return fail("name from outside the active fragment (B or Af)");
+
+    case State::Counting:  // s3
+      if (is_n()) {
+        stats_->add();  // bound comparison
+        if (cpt_ == plan_->hi) {
+          return fail("more than v=" + std::to_string(plan_->hi) +
+                      " consecutive occurrences");
+        }
+        stats_->add();
+        ++cpt_;
+        return Out::None;
+      }
+      if (in_c()) {
+        stats_->add();  // lower-bound comparison
+        if (cpt_ >= plan_->lo) {
+          stats_->add();
+          state_ = State::DoneSibling;
+          return Out::None;
+        }
+        return fail("block ended after " + std::to_string(cpt_) +
+                    " occurrences, below u=" + std::to_string(plan_->lo));
+      }
+      if (in_ac()) {
+        stats_->add();
+        if (cpt_ >= plan_->lo) {
+          stats_->add();
+          state_ = State::Idle;
+          return Out::Ok;
+        }
+        return fail("fragment stopped after " + std::to_string(cpt_) +
+                    " occurrences, below u=" + std::to_string(plan_->lo));
+      }
+      return fail("name from outside the active fragment (B or Af)");
+
+    case State::DoneSibling:  // s4
+      if (is_n()) {
+        return fail("range block reopened after it ended");
+      }
+      if (in_c()) return Out::None;
+      if (in_ac()) {
+        stats_->add();
+        state_ = State::Idle;
+        return Out::Ok;
+      }
+      return fail("name from outside the active fragment (B or Af)");
+
+    case State::Error:  // s5, absorbing
+      return Out::Err;
+  }
+  return Out::None;
+}
+
+}  // namespace loom::mon

@@ -1,0 +1,14 @@
+#include "mon/stats.hpp"
+
+namespace loom::mon {
+
+std::size_t bits_for_value(std::uint64_t max_value) {
+  std::size_t bits = 0;
+  while (max_value != 0) {
+    ++bits;
+    max_value >>= 1;
+  }
+  return bits == 0 ? 1 : bits;
+}
+
+}  // namespace loom::mon

@@ -1,0 +1,44 @@
+// Operation and state accounting for monitors.
+//
+// The paper's Figure 6 compares monitors by
+//   time  = number of operations executed per observed event,
+//   space = number of bits of Boolean and bounded-Integer state.
+// Every monitor (Drct and ViaPSL) threads a MonitorStats through its step
+// functions; each membership test, comparison, assignment and counter
+// update adds one operation.  Space is computed statically from the plan
+// (see space_bits() on each recognizer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace loom::mon {
+
+/// Bits needed to store values in [0, max_value]:  ceil(log2(max_value+1)).
+std::size_t bits_for_value(std::uint64_t max_value);
+
+struct MonitorStats {
+  std::uint64_t ops = 0;            // total primitive operations
+  std::uint64_t events = 0;         // observed events (after retirement too)
+  std::uint64_t max_ops_per_event = 0;
+
+  void add(std::uint64_t n = 1) { ops += n; }
+
+  /// Call at the start of an observe(); returns a token for note_event_end.
+  std::uint64_t begin_event() {
+    ++events;
+    return ops;
+  }
+  void end_event(std::uint64_t ops_before) {
+    const std::uint64_t spent = ops - ops_before;
+    if (spent > max_ops_per_event) max_ops_per_event = spent;
+  }
+
+  double ops_per_event() const {
+    return events == 0 ? 0.0 : static_cast<double>(ops) / static_cast<double>(events);
+  }
+
+  void reset() { *this = MonitorStats{}; }
+};
+
+}  // namespace loom::mon

@@ -1,0 +1,131 @@
+#include "mon/timed_monitor.hpp"
+
+namespace loom::mon {
+
+TimedImplicationMonitor::TimedImplicationMonitor(spec::TimedImplication property)
+    : property_(std::move(property)),
+      plan_(spec::plan_timed(property_)),
+      recognizer_(plan_, stats_) {
+  recognizer_.activate();
+}
+
+void TimedImplicationMonitor::violate(std::size_t ordinal, sim::Time time,
+                                      spec::Name name, std::string reason) {
+  verdict_ = Verdict::Violated;
+  violation_ = Violation{ordinal, time, name, std::move(reason)};
+}
+
+void TimedImplicationMonitor::update_timing(sim::Time now, std::size_t ordinal,
+                                            spec::Name name) {
+  const std::size_t p_last = plan_.p_boundary - 1;
+  const std::size_t q_last = plan_.fragments.size() - 1;
+  const std::size_t active = recognizer_.active_fragment();
+  stats_.add(2);  // the two stage comparisons below
+  if (!armed_ && (active > p_last ||
+                  (active == p_last &&
+                   recognizer_.fragment(p_last).min_complete()))) {
+    armed_ = true;
+    t_start_ = active == p_last
+                   ? recognizer_.fragment(p_last).min_complete_time()
+                   : now;
+    stats_.add(2);
+  }
+  if (armed_ && !q_done_ && active == q_last &&
+      recognizer_.fragment(q_last).min_complete()) {
+    q_done_ = true;
+    t_stop_ = recognizer_.fragment(q_last).min_complete_time();
+    stats_.add(3);  // flag + assignment + deadline comparison
+    if (t_stop_ - t_start_ > property_.bound) {
+      violate(ordinal, t_stop_, name,
+              "consequent finished after the deadline (took " +
+                  (t_stop_ - t_start_).to_string() + ", bound " +
+                  property_.bound.to_string() + ")");
+    }
+  }
+}
+
+void TimedImplicationMonitor::observe(spec::Name name, sim::Time time) {
+  const auto before = stats_.begin_event();
+  const std::size_t ordinal = ordinal_++;
+  if (verdict_ == Verdict::Violated) {
+    stats_.end_event(before);
+    return;
+  }
+  stats_.add();  // alphabet filter
+  if (!plan_.alphabet.test(name)) {
+    stats_.end_event(before);
+    return;
+  }
+  stats_.add();  // deadline pre-check
+  if (armed_ && !q_done_ && time > t_start_ + property_.bound) {
+    violate(ordinal, time, name,
+            "deadline elapsed before the consequent finished");
+    stats_.end_event(before);
+    return;
+  }
+  switch (recognizer_.step(name, time)) {
+    case OrderingRecognizer::Out::None:
+      update_timing(time, ordinal, name);
+      if (verdict_ != Verdict::Violated) {
+        verdict_ = recognizer_.in_progress() ? Verdict::Pending
+                                             : Verdict::Monitoring;
+      }
+      break;
+    case OrderingRecognizer::Out::Completed: {
+      // The reset point: the completing event restarts the chain at F1.
+      ++rounds_;
+      armed_ = false;
+      q_done_ = false;
+      recognizer_.restart();
+      (void)recognizer_.step(name, time);  // same event opens fragment 0
+      update_timing(time, ordinal, name);
+      if (verdict_ != Verdict::Violated) verdict_ = Verdict::Pending;
+      break;
+    }
+    case OrderingRecognizer::Out::Err:
+      violate(ordinal, time, name, recognizer_.error_reason());
+      break;
+  }
+  stats_.end_event(before);
+}
+
+void TimedImplicationMonitor::poll(sim::Time now) {
+  if (verdict_ == Verdict::Violated) return;
+  if (armed_ && !q_done_ && now > t_start_ + property_.bound) {
+    violate(ordinal_, now, spec::kInvalidName,
+            "deadline elapsed before the consequent finished (watchdog)");
+  }
+}
+
+void TimedImplicationMonitor::finish(sim::Time end_time) {
+  if (verdict_ == Verdict::Violated) return;
+  if (armed_ && !q_done_ && end_time > t_start_ + property_.bound) {
+    violate(ordinal_, end_time, spec::kInvalidName,
+            "observation ended after the deadline with the consequent "
+            "unfinished");
+    return;
+  }
+  // Earliest-match: a round whose consequent reached its minimum within the
+  // deadline has met its obligation even if the final block is still open.
+  if (q_done_) verdict_ = Verdict::Monitoring;
+}
+
+std::size_t TimedImplicationMonitor::space_bits() const {
+  // Recognizer state (including the two sc_time registers of the paper's
+  // §6, carried by the end-of-P / end-of-Q fragments) + verdict + the
+  // armed / q_done flags.
+  return recognizer_.space_bits() + 2 + 2;
+}
+
+void TimedImplicationMonitor::reset() {
+  recognizer_.restart();
+  verdict_ = Verdict::Monitoring;
+  violation_.reset();
+  armed_ = false;
+  q_done_ = false;
+  rounds_ = 0;
+  ordinal_ = 0;
+  stats_.reset();
+}
+
+}  // namespace loom::mon

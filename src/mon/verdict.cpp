@@ -1,0 +1,25 @@
+#include "mon/verdict.hpp"
+
+#include "mon/stats.hpp"
+
+namespace loom::mon {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Monitoring: return "monitoring";
+    case Verdict::Pending: return "pending";
+    case Verdict::Holds: return "holds";
+    case Verdict::Violated: return "violated";
+  }
+  return "?";
+}
+
+std::string Violation::to_string(const spec::Alphabet& ab) const {
+  std::string out = "violation at event #" + std::to_string(event_ordinal);
+  out += " (t=" + time.to_string() + ")";
+  if (name != spec::kInvalidName) out += " on '" + ab.text(name) + "'";
+  out += ": " + reason;
+  return out;
+}
+
+}  // namespace loom::mon

@@ -1,0 +1,59 @@
+// Monitor verdicts and violation reports.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+#include "spec/alphabet.hpp"
+
+namespace loom::mon {
+
+enum class Verdict {
+  Monitoring,  // active, no recognition in progress, no violation
+  Pending,     // active, mid-recognition (weakly holds on a finite trace)
+  Holds,       // retired satisfied (non-repeated antecedent validated)
+  Violated,
+};
+
+const char* to_string(Verdict v);
+
+struct Violation {
+  /// Ordinal of the observe() call that failed (counting every observed
+  /// event, including filtered ones).
+  std::size_t event_ordinal = 0;
+  sim::Time time;
+  spec::Name name = spec::kInvalidName;
+  std::string reason;
+
+  std::string to_string(const spec::Alphabet& ab) const;
+};
+
+/// Common interface of all property monitors (Drct and ViaPSL), used by the
+/// ABV checker and the benches.
+class Monitor {
+ public:
+  virtual ~Monitor() = default;
+
+  /// Feeds one observed interface event.
+  virtual void observe(spec::Name name, sim::Time time) = 0;
+  /// Signals end of observation at `end_time` (deadline checks).
+  virtual void finish(sim::Time end_time) { (void)end_time; }
+  /// Time-triggered check between events (in-simulation watchdogs).
+  virtual void poll(sim::Time now) { (void)now; }
+  /// Deadline of a currently armed timed obligation, if any.
+  virtual std::optional<sim::Time> deadline() const { return std::nullopt; }
+
+  virtual Verdict verdict() const = 0;
+  virtual const std::optional<Violation>& violation() const = 0;
+
+  virtual struct MonitorStats& stats() = 0;
+  /// Bits of Boolean / bounded-integer monitor state (paper's "space").
+  virtual std::size_t space_bits() const = 0;
+
+  /// Restores the initial state (keeps the compiled plan).
+  virtual void reset() = 0;
+};
+
+}  // namespace loom::mon

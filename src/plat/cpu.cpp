@@ -1,0 +1,119 @@
+#include "plat/cpu.hpp"
+
+#include <stdexcept>
+
+#include "plat/gpio.hpp"
+#include "plat/intc.hpp"
+#include "plat/ipu.hpp"
+#include "plat/lcdc.hpp"
+#include "plat/lock.hpp"
+#include "plat/sensor.hpp"
+#include "plat/timer.hpp"
+
+namespace loom::plat {
+
+Cpu::Cpu(sim::Scheduler& scheduler, std::string name, AddressMap map,
+         IrqLines lines, std::uint32_t gallery_size, std::uint64_t seed,
+         sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket"),
+      map_(map),
+      lines_(lines),
+      gallery_size_(gallery_size),
+      rng_(seed) {
+  spawn(firmware(), "firmware");
+}
+
+std::uint32_t Cpu::read32(std::uint64_t address) {
+  std::uint32_t value = 0;
+  sim::Time delay;
+  const auto resp = socket_.read_u32(address, value, delay);
+  if (resp != tlm::Response::Ok) {
+    throw std::runtime_error("CPU read fault at 0x" + std::to_string(address) +
+                             ": " + tlm::to_string(resp));
+  }
+  return value;
+}
+
+void Cpu::write32(std::uint64_t address, std::uint32_t value) {
+  sim::Time delay;
+  const auto resp = socket_.write_u32(address, value, delay);
+  if (resp != tlm::Response::Ok) {
+    throw std::runtime_error("CPU write fault at 0x" +
+                             std::to_string(address) + ": " +
+                             tlm::to_string(resp));
+  }
+}
+
+// The firmware: interrupt-driven access-control main loop.
+sim::Process Cpu::firmware() {
+  // A small macro-free idiom for "wait until INTC line is pending, ack it":
+  // check-then-wait so that already-pending lines do not block.
+#define LOOM_WAIT_LINE(line)                                        \
+  for (;;) {                                                        \
+    const std::uint32_t pending = read32(map_.intc + Intc::kStatus); \
+    if ((pending & (1u << (line))) != 0) {                          \
+      write32(map_.intc + Intc::kAck, 1u << (line));                \
+      break;                                                        \
+    }                                                               \
+    co_await scheduler().wait(*irq_);                               \
+  }
+
+  // Boot: enable all interrupt lines, point the LCDC at the image buffer.
+  write32(map_.intc + Intc::kEnable, 0xFu);
+  write32(map_.lcdc + Lcdc::kFbAddr,
+          static_cast<std::uint32_t>(map_.image_buffer));
+  write32(map_.lcdc + Lcdc::kCtrl, 1);
+
+  for (;;) {
+    LOOM_WAIT_LINE(lines_.button);
+    write32(map_.gpio + Gpio::kIntAck, 1);
+
+    // Capture the visitor's face.
+    write32(map_.sensor + Sensor::kDstAddr,
+            static_cast<std::uint32_t>(map_.image_buffer));
+    write32(map_.sensor + Sensor::kCtrl, 1);
+    LOOM_WAIT_LINE(lines_.sensor);
+
+    // Configure the IPU.  The order of the three writes is irrelevant by
+    // design (the paper's loose-ordering); the firmware randomizes it.
+    struct RegWrite {
+      std::uint64_t offset;
+      std::uint32_t value;
+    };
+    RegWrite writes[3] = {
+        {Ipu::kImgAddr, static_cast<std::uint32_t>(map_.image_buffer)},
+        {Ipu::kGlAddr, static_cast<std::uint32_t>(map_.gallery_base)},
+        {Ipu::kGlSize, gallery_size_},
+    };
+    for (std::size_t k = 3; k > 1; --k) {
+      std::swap(writes[k - 1], writes[rng_.below(k)]);
+    }
+    if (faults_.early_start) {
+      write32(map_.ipu + Ipu::kCtrl, 1);  // bug: launch before configuring
+    }
+    for (const auto& w : writes) {
+      if (faults_.skip_glsize_write && w.offset == Ipu::kGlSize) continue;
+      write32(map_.ipu + w.offset, w.value);
+    }
+    if (!faults_.early_start) {
+      write32(map_.ipu + Ipu::kCtrl, 1);
+    }
+    LOOM_WAIT_LINE(lines_.ipu);
+
+    const std::uint32_t status = read32(map_.ipu + Ipu::kStatus);
+    if (status == static_cast<std::uint32_t>(Ipu::Status::Match)) {
+      ++matches_;
+      // Open the door and arm the auto-close timer (TMR2).
+      write32(map_.lock + Lock::kCtrl, 1);
+      write32(map_.timer2 + Timer::kLoadNs, 200000);  // 200 us
+      write32(map_.timer2 + Timer::kCtrl, 1);
+      LOOM_WAIT_LINE(lines_.timer2);
+      write32(map_.lock + Lock::kCtrl, 0);
+    }
+    ++rounds_;
+  }
+#undef LOOM_WAIT_LINE
+}
+
+}  // namespace loom::plat

@@ -1,0 +1,76 @@
+// CPU with the embedded access-control firmware (Fig. 2): on a button
+// press it captures an image, configures the IPU (register writes in a
+// randomized order — the loose-ordering freedom the paper motivates),
+// starts face recognition, waits for the IPU interrupt, and on a match
+// opens the door lock with a timed auto-close via TMR2.
+//
+// Firmware fault-injection knobs produce the buggy behaviours the monitors
+// must catch: forgetting a register write and starting the IPU before its
+// configuration is complete.
+#pragma once
+
+#include "sim/module.hpp"
+#include "support/rng.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Cpu final : public sim::Module {
+ public:
+  /// Interrupt line assignment shared with the platform wiring.
+  struct IrqLines {
+    unsigned button = 0;
+    unsigned sensor = 1;
+    unsigned ipu = 2;
+    unsigned timer2 = 3;
+  };
+
+  /// Bus addresses of the peripherals (set by the platform).
+  struct AddressMap {
+    std::uint64_t gpio = 0;
+    std::uint64_t sensor = 0;
+    std::uint64_t ipu = 0;
+    std::uint64_t intc = 0;
+    std::uint64_t timer2 = 0;
+    std::uint64_t lock = 0;
+    std::uint64_t lcdc = 0;
+    std::uint64_t image_buffer = 0;   // in MEM
+    std::uint64_t gallery_base = 0;   // in MEM
+  };
+
+  struct Faults {
+    bool skip_glsize_write = false;  // forget set_glSize  (Example 2 bug)
+    bool early_start = false;        // start before configuring (Example 2)
+  };
+
+  Cpu(sim::Scheduler& scheduler, std::string name, AddressMap map,
+      IrqLines lines, std::uint32_t gallery_size, std::uint64_t seed,
+      sim::Module* parent = nullptr);
+
+  tlm::InitiatorSocket& socket() { return socket_; }
+  Faults& faults() { return faults_; }
+
+  /// Completed access-control rounds (button -> verdict).
+  std::uint64_t rounds_completed() const { return rounds_; }
+  std::uint64_t matches() const { return matches_; }
+
+  /// CPU waits on this event; the platform connects it to the INTC output.
+  void attach_irq(sim::Event& cpu_irq) { irq_ = &cpu_irq; }
+
+ private:
+  sim::Process firmware();
+  std::uint32_t read32(std::uint64_t address);
+  void write32(std::uint64_t address, std::uint32_t value);
+
+  tlm::InitiatorSocket socket_;
+  AddressMap map_;
+  IrqLines lines_;
+  std::uint32_t gallery_size_;
+  support::Rng rng_;
+  Faults faults_;
+  sim::Event* irq_ = nullptr;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t matches_ = 0;
+};
+
+}  // namespace loom::plat

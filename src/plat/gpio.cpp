@@ -1,0 +1,48 @@
+#include "plat/gpio.hpp"
+
+namespace loom::plat {
+
+Gpio::Gpio(sim::Scheduler& scheduler, std::string name, Intc& intc,
+           unsigned irq_line, sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket"),
+      intc_(intc),
+      irq_line_(irq_line) {
+  socket_.bind(*this);
+}
+
+void Gpio::press_button() {
+  ++presses_;
+  latched_ = true;
+  intc_.raise(irq_line_);
+}
+
+void Gpio::b_transport(tlm::Payload& trans, sim::Time& delay) {
+  delay += sim::Time::ns(5);
+  if (trans.length() != 4) {
+    trans.set_response(tlm::Response::GenericError);
+    return;
+  }
+  switch (trans.address()) {
+    case kIn:
+      if (trans.command() != tlm::Command::Read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(latched_ ? 1 : 0);
+      break;
+    case kIntAck:
+      if (trans.command() != tlm::Command::Write) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      latched_ = false;
+      break;
+    default:
+      trans.set_response(tlm::Response::AddressError);
+      return;
+  }
+  trans.set_response(tlm::Response::Ok);
+}
+
+}  // namespace loom::plat

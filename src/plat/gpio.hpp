@@ -1,0 +1,40 @@
+// GPIO block handling the device's button (Fig. 2).
+//
+//   0x00 IN      (RO)  bit 0: button level
+//   0x04 INT_ACK (WO)  clear the latched press
+// A button press latches bit 0 and raises the GPIO interrupt line; the
+// testbench presses the button via press_button().
+#pragma once
+
+#include "plat/intc.hpp"
+#include "sim/module.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Gpio final : public sim::Module, public tlm::BlockingTransport {
+ public:
+  static constexpr std::uint64_t kIn = 0x00;
+  static constexpr std::uint64_t kIntAck = 0x04;
+
+  Gpio(sim::Scheduler& scheduler, std::string name, Intc& intc,
+       unsigned irq_line, sim::Module* parent = nullptr);
+
+  tlm::TargetSocket& socket() { return socket_; }
+
+  /// External stimulus: a human pressing the button.
+  void press_button();
+
+  std::uint64_t presses() const { return presses_; }
+
+  void b_transport(tlm::Payload& trans, sim::Time& delay) override;
+
+ private:
+  tlm::TargetSocket socket_;
+  Intc& intc_;
+  unsigned irq_line_;
+  bool latched_ = false;
+  std::uint64_t presses_ = 0;
+};
+
+}  // namespace loom::plat

@@ -1,0 +1,53 @@
+#include "plat/intc.hpp"
+
+namespace loom::plat {
+
+Intc::Intc(sim::Scheduler& scheduler, std::string name, sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket"),
+      cpu_irq_(scheduler, full_name() + ".cpu_irq") {
+  socket_.bind(*this);
+}
+
+void Intc::raise(unsigned line) {
+  pending_ |= 1u << line;
+  if (active()) cpu_irq_.notify();
+}
+
+void Intc::b_transport(tlm::Payload& trans, sim::Time& delay) {
+  delay += sim::Time::ns(5);
+  if (trans.length() != 4) {
+    trans.set_response(tlm::Response::GenericError);
+    return;
+  }
+  switch (trans.address()) {
+    case kStatus:
+      if (trans.command() != tlm::Command::Read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(pending_);
+      break;
+    case kEnable:
+      if (trans.command() == tlm::Command::Read) {
+        trans.set_u32(enable_);
+      } else {
+        enable_ = trans.get_u32();
+        if (active()) cpu_irq_.notify();
+      }
+      break;
+    case kAck:
+      if (trans.command() != tlm::Command::Write) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      pending_ &= ~trans.get_u32();
+      break;
+    default:
+      trans.set_response(tlm::Response::AddressError);
+      return;
+  }
+  trans.set_response(tlm::Response::Ok);
+}
+
+}  // namespace loom::plat

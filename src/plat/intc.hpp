@@ -1,0 +1,46 @@
+// Interrupt controller (INTC): aggregates device interrupt lines into one
+// CPU interrupt with per-line enable and acknowledge registers.
+//
+//   0x00 STATUS  (RO)  pending lines
+//   0x04 ENABLE  (RW)  line mask
+//   0x08 ACK     (WO)  write-1-to-clear
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event.hpp"
+#include "sim/module.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Intc final : public sim::Module, public tlm::BlockingTransport {
+ public:
+  static constexpr std::uint64_t kStatus = 0x00;
+  static constexpr std::uint64_t kEnable = 0x04;
+  static constexpr std::uint64_t kAck = 0x08;
+
+  Intc(sim::Scheduler& scheduler, std::string name,
+       sim::Module* parent = nullptr);
+
+  tlm::TargetSocket& socket() { return socket_; }
+
+  /// Device-side: raises interrupt line `line` (level-triggered pending bit).
+  void raise(unsigned line);
+
+  /// CPU-side: triggered whenever a pending & enabled line exists.
+  sim::Event& cpu_irq() { return cpu_irq_; }
+
+  std::uint32_t pending() const { return pending_; }
+  bool active() const { return (pending_ & enable_) != 0; }
+
+  void b_transport(tlm::Payload& trans, sim::Time& delay) override;
+
+ private:
+  tlm::TargetSocket socket_;
+  sim::Event cpu_irq_;
+  std::uint32_t pending_ = 0;
+  std::uint32_t enable_ = 0;
+};
+
+}  // namespace loom::plat

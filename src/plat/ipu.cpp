@@ -1,0 +1,131 @@
+#include "plat/ipu.hpp"
+
+#include <limits>
+
+namespace loom::plat {
+
+Ipu::Ipu(sim::Scheduler& scheduler, std::string name, Intc& intc,
+         unsigned irq_line, sim::Time per_image, sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket"),
+      dma_(full_name() + ".dma"),
+      intc_(intc),
+      irq_line_(irq_line),
+      per_image_(per_image),
+      start_requested_(scheduler, full_name() + ".start") {
+  socket_.bind(*this);
+  spawn(engine_process(), "engine");
+}
+
+void Ipu::raise_irq() {
+  for (const auto& tap : irq_taps_) tap();
+  intc_.raise(irq_line_);
+}
+
+sim::Process Ipu::engine_process() {
+  for (;;) {
+    co_await scheduler().wait(start_requested_);
+    status_ = Status::Busy;
+    best_ = std::numeric_limits<std::uint32_t>::max();
+    best_idx_ = 0;
+
+    // Read the probe image (one read_img output).
+    tlm::Payload probe = tlm::Payload::read(img_addr_, kImageBytes);
+    sim::Time delay;
+    dma_.b_transport(probe, delay);
+    ++gallery_reads_;
+    co_await scheduler().wait(delay);
+
+    const sim::Time step = per_image_ * faults_.slow_factor;
+    for (std::uint32_t k = 0; k < gl_size_; ++k) {
+      // Read gallery entry k (a read_img output), then "process" it.
+      tlm::Payload entry =
+          tlm::Payload::read(gl_addr_ + k * kImageBytes, kImageBytes);
+      sim::Time entry_delay;
+      dma_.b_transport(entry, entry_delay);
+      ++gallery_reads_;
+      co_await scheduler().wait(entry_delay + step);
+      if (!probe.ok() || !entry.ok()) continue;
+      // Sum of absolute differences: the smaller, the more similar.
+      std::uint32_t score = 0;
+      for (std::size_t b = 0; b < kImageBytes; ++b) {
+        const int d = static_cast<int>(probe.data()[b]) -
+                      static_cast<int>(entry.data()[b]);
+        score += static_cast<std::uint32_t>(d < 0 ? -d : d);
+      }
+      if (score < best_) {
+        best_ = score;
+        best_idx_ = k;
+      }
+    }
+    status_ = best_ <= kMatchThreshold ? Status::Match : Status::NoMatch;
+    ++recognitions_;
+    if (!faults_.skip_irq) raise_irq();
+  }
+}
+
+void Ipu::b_transport(tlm::Payload& trans, sim::Time& delay) {
+  delay += sim::Time::ns(5);
+  if (trans.length() != 4) {
+    trans.set_response(tlm::Response::GenericError);
+    return;
+  }
+  const bool is_read = trans.command() == tlm::Command::Read;
+  switch (trans.address()) {
+    case kImgAddr:
+      if (is_read) {
+        trans.set_u32(img_addr_);
+      } else {
+        img_addr_ = trans.get_u32();
+      }
+      break;
+    case kGlAddr:
+      if (is_read) {
+        trans.set_u32(gl_addr_);
+      } else {
+        gl_addr_ = trans.get_u32();
+      }
+      break;
+    case kGlSize:
+      if (is_read) {
+        trans.set_u32(gl_size_);
+      } else {
+        gl_size_ = trans.get_u32();
+      }
+      break;
+    case kCtrl:
+      if (is_read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      if (trans.get_u32() == 1) start_requested_.notify();
+      break;
+    case kStatus:
+      if (!is_read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(static_cast<std::uint32_t>(status_));
+      break;
+    case kBest:
+      if (!is_read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(best_);
+      break;
+    case kBestIdx:
+      if (!is_read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(best_idx_);
+      break;
+    default:
+      trans.set_response(tlm::Response::AddressError);
+      return;
+  }
+  trans.set_response(tlm::Response::Ok);
+}
+
+}  // namespace loom::plat

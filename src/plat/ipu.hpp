@@ -1,0 +1,100 @@
+// Image Processing Unit (IPU): the component of the paper's case study.
+//
+// The IPU performs face recognition: configured through registers with the
+// probe-image address, the gallery address and the gallery size, it is
+// launched by writing CTRL, reads the probe and every gallery image from
+// memory (the paper's `read_img` outputs), computes a sum-of-absolute-
+// differences score per gallery entry, and signals completion with its
+// interrupt (the paper's `set_irq`).
+//
+// Interface events of the paper's §3:
+//   inputs  : set_imgAddr (write 0x00), set_glAddr (write 0x04),
+//             set_glSize (write 0x08), start (write 1 to CTRL 0x0C)
+//   outputs : read_img (each memory read it initiates), set_irq
+//
+// Register map:
+//   0x00 IMG_ADDR (RW)   0x04 GL_ADDR (RW)   0x08 GL_SIZE (RW)
+//   0x0C CTRL     (WO, 1=start)
+//   0x10 STATUS   (RO) 0 idle, 1 busy, 2 done-match, 3 done-no-match
+//   0x14 BEST     (RO) best (lowest) score
+//   0x18 BEST_IDX (RO) index of the best gallery entry
+//
+// Fault-injection knobs model the buggy-RTL scenarios of the evaluation:
+// a dropped interrupt and a pathologically slow engine (deadline misses).
+#pragma once
+
+#include <functional>
+
+#include "plat/intc.hpp"
+#include "sim/module.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Ipu final : public sim::Module, public tlm::BlockingTransport {
+ public:
+  static constexpr std::uint64_t kImgAddr = 0x00;
+  static constexpr std::uint64_t kGlAddr = 0x04;
+  static constexpr std::uint64_t kGlSize = 0x08;
+  static constexpr std::uint64_t kCtrl = 0x0C;
+  static constexpr std::uint64_t kStatus = 0x10;
+  static constexpr std::uint64_t kBest = 0x14;
+  static constexpr std::uint64_t kBestIdx = 0x18;
+
+  static constexpr std::size_t kImageBytes = 64;
+  /// Scores at or below this threshold count as a match.
+  static constexpr std::uint32_t kMatchThreshold = 600;
+
+  enum class Status : std::uint32_t { Idle = 0, Busy = 1, Match = 2, NoMatch = 3 };
+
+  struct Faults {
+    bool skip_irq = false;      // never raise the completion interrupt
+    std::uint32_t slow_factor = 1;  // multiply per-image processing time
+  };
+
+  Ipu(sim::Scheduler& scheduler, std::string name, Intc& intc,
+      unsigned irq_line, sim::Time per_image = sim::Time::us(2),
+      sim::Module* parent = nullptr);
+
+  tlm::TargetSocket& socket() { return socket_; }
+  /// Bus master port used for gallery reads (tap it for read_img events).
+  tlm::InitiatorSocket& dma() { return dma_; }
+
+  Faults& faults() { return faults_; }
+
+  Status status() const { return status_; }
+  std::uint32_t best_score() const { return best_; }
+  std::uint64_t recognitions() const { return recognitions_; }
+  std::uint64_t gallery_reads() const { return gallery_reads_; }
+
+  /// Synchronous taps on the interrupt output (observation adapters).
+  void add_irq_tap(std::function<void()> tap) {
+    irq_taps_.push_back(std::move(tap));
+  }
+
+  void b_transport(tlm::Payload& trans, sim::Time& delay) override;
+
+ private:
+  sim::Process engine_process();
+  void raise_irq();
+
+  tlm::TargetSocket socket_;
+  tlm::InitiatorSocket dma_;
+  Intc& intc_;
+  unsigned irq_line_;
+  sim::Time per_image_;
+  sim::Event start_requested_;
+  Faults faults_;
+
+  std::uint32_t img_addr_ = 0;
+  std::uint32_t gl_addr_ = 0;
+  std::uint32_t gl_size_ = 0;
+  Status status_ = Status::Idle;
+  std::uint32_t best_ = 0;
+  std::uint32_t best_idx_ = 0;
+  std::uint64_t recognitions_ = 0;
+  std::uint64_t gallery_reads_ = 0;
+  std::vector<std::function<void()>> irq_taps_;
+};
+
+}  // namespace loom::plat

@@ -1,0 +1,62 @@
+#include "plat/lcdc.hpp"
+
+namespace loom::plat {
+
+Lcdc::Lcdc(sim::Scheduler& scheduler, std::string name,
+           sim::Time refresh_period, sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket"),
+      dma_(full_name() + ".dma"),
+      period_(refresh_period) {
+  socket_.bind(*this);
+  spawn(refresh_process(), "refresh");
+}
+
+sim::Process Lcdc::refresh_process() {
+  for (;;) {
+    co_await scheduler().wait(period_);
+    if (!enabled_ || !dma_.bound()) continue;
+    tlm::Payload p = tlm::Payload::read(fb_addr_, kFramebufferBytes);
+    sim::Time delay;
+    dma_.b_transport(p, delay);
+    co_await scheduler().wait(delay);
+    if (p.ok()) ++frames_;
+  }
+}
+
+void Lcdc::b_transport(tlm::Payload& trans, sim::Time& delay) {
+  delay += sim::Time::ns(5);
+  if (trans.length() != 4) {
+    trans.set_response(tlm::Response::GenericError);
+    return;
+  }
+  switch (trans.address()) {
+    case kCtrl:
+      if (trans.command() == tlm::Command::Read) {
+        trans.set_u32(enabled_ ? 1 : 0);
+      } else {
+        enabled_ = trans.get_u32() == 1;
+      }
+      break;
+    case kFbAddr:
+      if (trans.command() == tlm::Command::Read) {
+        trans.set_u32(fb_addr_);
+      } else {
+        fb_addr_ = trans.get_u32();
+      }
+      break;
+    case kFrames:
+      if (trans.command() != tlm::Command::Read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(frames_);
+      break;
+    default:
+      trans.set_response(tlm::Response::AddressError);
+      return;
+  }
+  trans.set_response(tlm::Response::Ok);
+}
+
+}  // namespace loom::plat

@@ -1,0 +1,46 @@
+// LCD controller (LCDC of Fig. 2): when enabled, periodically reads the
+// framebuffer region from memory (display refresh) and counts frames.  Its
+// main role in the reproduction is to keep realistic concurrent bus traffic
+// flowing next to the IPU.
+//
+//   0x00 CTRL    (RW)  1 = enable refresh
+//   0x04 FB_ADDR (RW)  framebuffer base
+//   0x08 FRAMES  (RO)  refresh counter
+#pragma once
+
+#include "sim/module.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Lcdc final : public sim::Module, public tlm::BlockingTransport {
+ public:
+  static constexpr std::uint64_t kCtrl = 0x00;
+  static constexpr std::uint64_t kFbAddr = 0x04;
+  static constexpr std::uint64_t kFrames = 0x08;
+
+  static constexpr std::size_t kFramebufferBytes = 128;
+
+  Lcdc(sim::Scheduler& scheduler, std::string name,
+       sim::Time refresh_period = sim::Time::us(50),
+       sim::Module* parent = nullptr);
+
+  tlm::TargetSocket& socket() { return socket_; }
+  tlm::InitiatorSocket& dma() { return dma_; }
+
+  std::uint32_t frames() const { return frames_; }
+
+  void b_transport(tlm::Payload& trans, sim::Time& delay) override;
+
+ private:
+  sim::Process refresh_process();
+
+  tlm::TargetSocket socket_;
+  tlm::InitiatorSocket dma_;
+  sim::Time period_;
+  bool enabled_ = false;
+  std::uint32_t fb_addr_ = 0;
+  std::uint32_t frames_ = 0;
+};
+
+}  // namespace loom::plat

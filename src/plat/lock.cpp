@@ -1,0 +1,42 @@
+#include "plat/lock.hpp"
+
+namespace loom::plat {
+
+Lock::Lock(sim::Scheduler& scheduler, std::string name, sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket") {
+  socket_.bind(*this);
+}
+
+void Lock::b_transport(tlm::Payload& trans, sim::Time& delay) {
+  delay += sim::Time::ns(5);
+  if (trans.length() != 4) {
+    trans.set_response(tlm::Response::GenericError);
+    return;
+  }
+  switch (trans.address()) {
+    case kCtrl: {
+      if (trans.command() != tlm::Command::Write) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      const bool want_open = trans.get_u32() == 1;
+      if (want_open && !open_) ++open_count_;
+      open_ = want_open;
+      break;
+    }
+    case kStatus:
+      if (trans.command() != tlm::Command::Read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(open_ ? 1 : 0);
+      break;
+    default:
+      trans.set_response(tlm::Response::AddressError);
+      return;
+  }
+  trans.set_response(tlm::Response::Ok);
+}
+
+}  // namespace loom::plat

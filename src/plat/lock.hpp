@@ -1,0 +1,33 @@
+// Door lock actuator (LOCK of Fig. 2).
+//
+//   0x00 CTRL   (WO)  1 = open, 0 = close
+//   0x04 STATUS (RO)  1 while open
+#pragma once
+
+#include "sim/module.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Lock final : public sim::Module, public tlm::BlockingTransport {
+ public:
+  static constexpr std::uint64_t kCtrl = 0x00;
+  static constexpr std::uint64_t kStatus = 0x04;
+
+  Lock(sim::Scheduler& scheduler, std::string name,
+       sim::Module* parent = nullptr);
+
+  tlm::TargetSocket& socket() { return socket_; }
+
+  bool open() const { return open_; }
+  std::uint64_t open_count() const { return open_count_; }
+
+  void b_transport(tlm::Payload& trans, sim::Time& delay) override;
+
+ private:
+  tlm::TargetSocket socket_;
+  bool open_ = false;
+  std::uint64_t open_count_ = 0;
+};
+
+}  // namespace loom::plat

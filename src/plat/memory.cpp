@@ -1,0 +1,60 @@
+#include "plat/memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace loom::plat {
+
+Memory::Memory(sim::Scheduler& scheduler, std::string name, std::size_t bytes,
+               sim::Time access_latency, sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket"),
+      storage_(bytes, 0),
+      latency_(access_latency) {
+  socket_.bind(*this);
+}
+
+void Memory::b_transport(tlm::Payload& trans, sim::Time& delay) {
+  delay += latency_;
+  const std::uint64_t addr = trans.address();
+  if (addr + trans.length() > storage_.size()) {
+    trans.set_response(tlm::Response::AddressError);
+    return;
+  }
+  switch (trans.command()) {
+    case tlm::Command::Write:
+      std::copy(trans.data().begin(), trans.data().end(),
+                storage_.begin() + static_cast<long>(addr));
+      ++writes_;
+      break;
+    case tlm::Command::Read:
+      std::copy(storage_.begin() + static_cast<long>(addr),
+                storage_.begin() + static_cast<long>(addr + trans.length()),
+                trans.data().begin());
+      ++reads_;
+      break;
+    case tlm::Command::Ignore:
+      break;
+  }
+  trans.set_response(tlm::Response::Ok);
+}
+
+void Memory::poke(std::uint64_t address,
+                  const std::vector<std::uint8_t>& bytes) {
+  if (address + bytes.size() > storage_.size()) {
+    throw std::out_of_range("Memory::poke past end of memory");
+  }
+  std::copy(bytes.begin(), bytes.end(),
+            storage_.begin() + static_cast<long>(address));
+}
+
+std::vector<std::uint8_t> Memory::peek(std::uint64_t address,
+                                       std::size_t length) const {
+  if (address + length > storage_.size()) {
+    throw std::out_of_range("Memory::peek past end of memory");
+  }
+  return {storage_.begin() + static_cast<long>(address),
+          storage_.begin() + static_cast<long>(address + length)};
+}
+
+}  // namespace loom::plat

@@ -1,0 +1,42 @@
+// System memory (MEM of the paper's Fig. 2 platform): a flat byte array
+// behind a target socket, holding the captured image, the face gallery and
+// the LCDC framebuffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Memory final : public sim::Module, public tlm::BlockingTransport {
+ public:
+  Memory(sim::Scheduler& scheduler, std::string name, std::size_t bytes,
+         sim::Time access_latency = sim::Time::ns(10),
+         sim::Module* parent = nullptr);
+
+  tlm::TargetSocket& socket() { return socket_; }
+
+  void b_transport(tlm::Payload& trans, sim::Time& delay) override;
+
+  /// Backdoor access (test setup, gallery preloading).
+  std::uint8_t* data() { return storage_.data(); }
+  std::size_t size() const { return storage_.size(); }
+  void poke(std::uint64_t address, const std::vector<std::uint8_t>& bytes);
+  std::vector<std::uint8_t> peek(std::uint64_t address,
+                                 std::size_t length) const;
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  tlm::TargetSocket socket_;
+  std::vector<std::uint8_t> storage_;
+  sim::Time latency_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace loom::plat

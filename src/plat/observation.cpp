@@ -1,0 +1,43 @@
+#include "plat/observation.hpp"
+
+namespace loom::plat {
+
+IpuInterface IpuInterface::declare(spec::Alphabet& ab) {
+  IpuInterface names;
+  names.set_imgAddr = ab.input("set_imgAddr");
+  names.set_glAddr = ab.input("set_glAddr");
+  names.set_glSize = ab.input("set_glSize");
+  names.start = ab.input("start");
+  names.read_img = ab.output("read_img");
+  names.set_irq = ab.output("set_irq");
+  return names;
+}
+
+IpuObserver::IpuObserver(Ipu& ipu, const IpuInterface& names,
+                         std::function<sim::Time()> now)
+    : names_(names), now_(std::move(now)) {
+  ipu.socket().add_observer([this](const tlm::Payload& p, sim::Time) {
+    if (p.command() != tlm::Command::Write || !p.ok()) return;
+    switch (p.address()) {
+      case Ipu::kImgAddr: emit(names_.set_imgAddr); break;
+      case Ipu::kGlAddr: emit(names_.set_glAddr); break;
+      case Ipu::kGlSize: emit(names_.set_glSize); break;
+      case Ipu::kCtrl:
+        if (p.get_u32() == 1) emit(names_.start);
+        break;
+      default: break;  // status/result reads and unknown offsets: silent
+    }
+  });
+  ipu.dma().add_observer([this](const tlm::Payload& p, sim::Time) {
+    if (p.command() == tlm::Command::Read && p.ok()) emit(names_.read_img);
+  });
+  ipu.add_irq_tap([this] { emit(names_.set_irq); });
+}
+
+void IpuObserver::emit(spec::Name name) {
+  ++count_;
+  const sim::Time t = now_();
+  for (const auto& sink : sinks_) sink(name, t);
+}
+
+}  // namespace loom::plat

@@ -1,0 +1,53 @@
+// Observation adapter: turns the IPU's bus traffic into the interface
+// events of the paper's §3 without modifying the models (non-intrusive
+// ABV).
+//
+//   register writes on the IPU target socket -> set_imgAddr / set_glAddr /
+//                                               set_glSize / start
+//   reads issued on the IPU initiator socket -> read_img
+//   the IPU interrupt tap                    -> set_irq
+//
+// Events are stamped with the current simulation time, fanned out to every
+// attached sink (monitor modules, trace recorders), and counted.
+#pragma once
+
+#include <functional>
+
+#include "plat/ipu.hpp"
+#include "spec/alphabet.hpp"
+
+namespace loom::plat {
+
+/// Interned names of the IPU interface events.
+struct IpuInterface {
+  spec::Name set_imgAddr, set_glAddr, set_glSize, start;  // inputs
+  spec::Name read_img, set_irq;                           // outputs
+
+  /// Declares the names (with directions) in `ab`.
+  static IpuInterface declare(spec::Alphabet& ab);
+};
+
+class IpuObserver {
+ public:
+  using Sink = std::function<void(spec::Name, sim::Time)>;
+
+  /// Hooks the adapter onto the IPU's sockets and irq; `now` supplies the
+  /// simulation time stamp (usually [&sched]{ return sched.now(); }).
+  IpuObserver(Ipu& ipu, const IpuInterface& names,
+              std::function<sim::Time()> now);
+
+  /// Adds a sink receiving every observed interface event.
+  void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  std::uint64_t events_observed() const { return count_; }
+
+ private:
+  void emit(spec::Name name);
+
+  IpuInterface names_;
+  std::function<sim::Time()> now_;
+  std::vector<Sink> sinks_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace loom::plat

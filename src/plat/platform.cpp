@@ -1,0 +1,112 @@
+#include "plat/platform.hpp"
+
+namespace loom::plat {
+
+AccessControlPlatform::AccessControlPlatform(const PlatformConfig& config)
+    : config_(config),
+      names_(IpuInterface::declare(alphabet_)),
+      top_(sched_, "top"),
+      bus_("top.bus"),
+      rng_(config.seed) {
+  const Cpu::IrqLines lines{};
+
+  mem_ = std::make_unique<Memory>(sched_, "mem", kMemSize, sim::Time::ns(10),
+                                  &top_);
+  intc_ = std::make_unique<Intc>(sched_, "intc", &top_);
+  gpio_ = std::make_unique<Gpio>(sched_, "gpio", *intc_, lines.button, &top_);
+  sensor_ = std::make_unique<Sensor>(sched_, "sen", *intc_, lines.sensor,
+                                     config.seed ^ 0x5e5e5e, &top_);
+  ipu_ = std::make_unique<Ipu>(sched_, "ipu", *intc_, lines.ipu,
+                               config.ipu_per_image, &top_);
+  ipu_->faults().skip_irq = config.fault_skip_irq;
+  ipu_->faults().slow_factor = std::max(1u, config.fault_slow_factor);
+  lcdc_ = std::make_unique<Lcdc>(sched_, "lcdc", sim::Time::us(50), &top_);
+  tmr1_ = std::make_unique<Timer>(sched_, "tmr1", *intc_, lines.timer2 + 1,
+                                  &top_);
+  tmr2_ = std::make_unique<Timer>(sched_, "tmr2", *intc_, lines.timer2,
+                                  &top_);
+  lock_ = std::make_unique<Lock>(sched_, "lock", &top_);
+
+  // Bus wiring.
+  bus_.set_latency(sim::Time::ns(2));
+  bus_.map(kMemBase, kMemSize, mem_->socket());
+  bus_.map(kIpuBase, kDeviceWindow, ipu_->socket());
+  bus_.map(kSenBase, kDeviceWindow, sensor_->socket());
+  bus_.map(kLcdcBase, kDeviceWindow, lcdc_->socket());
+  bus_.map(kIntcBase, kDeviceWindow, intc_->socket());
+  bus_.map(kTmr1Base, kDeviceWindow, tmr1_->socket());
+  bus_.map(kTmr2Base, kDeviceWindow, tmr2_->socket());
+  bus_.map(kGpioBase, kDeviceWindow, gpio_->socket());
+  bus_.map(kLockBase, kDeviceWindow, lock_->socket());
+  sensor_->dma().bind(bus_.target_socket());
+  ipu_->dma().bind(bus_.target_socket());
+  lcdc_->dma().bind(bus_.target_socket());
+
+  Cpu::AddressMap map;
+  map.gpio = kGpioBase;
+  map.sensor = kSenBase;
+  map.ipu = kIpuBase;
+  map.intc = kIntcBase;
+  map.timer2 = kTmr2Base;
+  map.lock = kLockBase;
+  map.lcdc = kLcdcBase;
+  map.image_buffer = kImageBuffer;
+  map.gallery_base = kGalleryBase;
+  cpu_ = std::make_unique<Cpu>(sched_, "cpu", map, lines,
+                               config.gallery_size, config.seed ^ 0xc0ffee,
+                               &top_);
+  cpu_->faults().skip_glsize_write = config.fault_skip_glsize;
+  cpu_->faults().early_start = config.fault_early_start;
+  cpu_->socket().bind(bus_.target_socket());
+  cpu_->attach_irq(intc_->cpu_irq());
+
+  observer_ = std::make_unique<IpuObserver>(*ipu_, names_,
+                                            [this] { return sched_.now(); });
+  observer_->add_sink([this](spec::Name name, sim::Time time) {
+    recorder_.record(name, time);
+  });
+
+  preload_gallery();
+  sched_.spawn(testbench(), "top.testbench");
+}
+
+void AccessControlPlatform::preload_gallery() {
+  support::Rng gallery_rng(config_.seed ^ 0x9a11e7);
+  for (std::uint32_t k = 0; k < config_.gallery_size; ++k) {
+    std::vector<std::uint8_t> face(Ipu::kImageBytes);
+    for (auto& b : face) b = static_cast<std::uint8_t>(gallery_rng.below(256));
+    mem_->poke(kGalleryBase + k * Ipu::kImageBytes, face);
+  }
+}
+
+sim::Process AccessControlPlatform::testbench() {
+  for (std::size_t press = 0; press < config_.button_presses; ++press) {
+    co_await sched_.wait(config_.press_interval);
+    // Every match_every-th visitor is an enrolled face: stage a probe equal
+    // to a gallery entry (plus slight noise below the match threshold).
+    if (config_.match_every != 0 && (press % config_.match_every) == 0 &&
+        config_.gallery_size > 0) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(
+          rng_.below(config_.gallery_size));
+      auto face = mem_->peek(kGalleryBase + idx * Ipu::kImageBytes,
+                             Ipu::kImageBytes);
+      for (std::size_t b = 0; b < 4; ++b) {
+        face[b] = static_cast<std::uint8_t>(face[b] ^ 1);  // tiny deviation
+      }
+      sensor_->stage_image(face);
+    } else {
+      std::vector<std::uint8_t> stranger(Ipu::kImageBytes);
+      for (auto& b : stranger) {
+        b = static_cast<std::uint8_t>(rng_.below(256));
+      }
+      sensor_->stage_image(stranger);
+    }
+    gpio_->press_button();
+  }
+}
+
+sim::Time AccessControlPlatform::run(sim::Time limit) {
+  return sched_.run(limit);
+}
+
+}  // namespace loom::plat

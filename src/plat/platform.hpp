@@ -1,0 +1,110 @@
+// The full access-control virtual platform of the paper's Fig. 2:
+//
+//   GPIO  SEN  IPU  LCDC  INTC
+//   TMR1  MEM  LOCK TMR2  CPU     -- all on one Bus
+//
+// AccessControlPlatform assembles and wires the models, preloads a face
+// gallery, runs a testbench process that presses the button, and exposes
+// the IPU observation adapter so monitors can be attached.  Fault knobs
+// reproduce the buggy firmware / buggy IPU scenarios that the paper's
+// properties (Examples 2 and 3) are meant to catch.
+#pragma once
+
+#include <memory>
+
+#include "abv/trace.hpp"
+#include "plat/cpu.hpp"
+#include "plat/gpio.hpp"
+#include "plat/intc.hpp"
+#include "plat/ipu.hpp"
+#include "plat/lcdc.hpp"
+#include "plat/lock.hpp"
+#include "plat/memory.hpp"
+#include "plat/observation.hpp"
+#include "plat/sensor.hpp"
+#include "plat/timer.hpp"
+#include "tlm/router.hpp"
+
+namespace loom::plat {
+
+struct PlatformConfig {
+  std::uint64_t seed = 1;
+  std::size_t button_presses = 3;
+  sim::Time press_interval = sim::Time::ms(1);
+  std::uint32_t gallery_size = 8;
+  sim::Time ipu_per_image = sim::Time::us(2);
+  /// Stage a gallery-matching probe image every k-th press (0 = never).
+  std::uint32_t match_every = 2;
+
+  // Fault injection (see DESIGN.md §4 and the platform tests).
+  bool fault_skip_glsize = false;  // firmware forgets set_glSize
+  bool fault_early_start = false;  // firmware starts IPU before configuring
+  bool fault_skip_irq = false;     // IPU drops its completion interrupt
+  std::uint32_t fault_slow_factor = 1;  // IPU processing slowdown
+};
+
+class AccessControlPlatform {
+ public:
+  // Bus memory map.
+  static constexpr std::uint64_t kMemBase = 0x00000000, kMemSize = 0x40000;
+  static constexpr std::uint64_t kIpuBase = 0x10000000;
+  static constexpr std::uint64_t kSenBase = 0x11000000;
+  static constexpr std::uint64_t kLcdcBase = 0x12000000;
+  static constexpr std::uint64_t kIntcBase = 0x13000000;
+  static constexpr std::uint64_t kTmr1Base = 0x14000000;
+  static constexpr std::uint64_t kTmr2Base = 0x15000000;
+  static constexpr std::uint64_t kGpioBase = 0x16000000;
+  static constexpr std::uint64_t kLockBase = 0x17000000;
+  static constexpr std::uint64_t kDeviceWindow = 0x1000;
+
+  static constexpr std::uint64_t kImageBuffer = 0x1000;
+  static constexpr std::uint64_t kGalleryBase = 0x2000;
+
+  explicit AccessControlPlatform(const PlatformConfig& config = {});
+
+  /// Runs the scenario (button presses + firmware rounds) up to `limit`.
+  sim::Time run(sim::Time limit = sim::Time::max());
+
+  sim::Scheduler& scheduler() { return sched_; }
+  spec::Alphabet& alphabet() { return alphabet_; }
+  const IpuInterface& interface_names() const { return names_; }
+  IpuObserver& observer() { return *observer_; }
+  const abv::TraceRecorder& recorder() const { return recorder_; }
+
+  Ipu& ipu() { return *ipu_; }
+  Cpu& cpu() { return *cpu_; }
+  Lock& lock() { return *lock_; }
+  Gpio& gpio() { return *gpio_; }
+  Lcdc& lcdc() { return *lcdc_; }
+  Memory& memory() { return *mem_; }
+  tlm::Router& bus() { return bus_; }
+
+  const PlatformConfig& config() const { return config_; }
+
+ private:
+  sim::Process testbench();
+  void preload_gallery();
+
+  PlatformConfig config_;
+  sim::Scheduler sched_;
+  spec::Alphabet alphabet_;
+  IpuInterface names_;
+  sim::Module top_;
+  tlm::Router bus_;
+
+  std::unique_ptr<Memory> mem_;
+  std::unique_ptr<Intc> intc_;
+  std::unique_ptr<Gpio> gpio_;
+  std::unique_ptr<Sensor> sensor_;
+  std::unique_ptr<Ipu> ipu_;
+  std::unique_ptr<Lcdc> lcdc_;
+  std::unique_ptr<Timer> tmr1_;
+  std::unique_ptr<Timer> tmr2_;
+  std::unique_ptr<Lock> lock_;
+  std::unique_ptr<Cpu> cpu_;
+  std::unique_ptr<IpuObserver> observer_;
+  abv::TraceRecorder recorder_;
+  support::Rng rng_;
+};
+
+}  // namespace loom::plat

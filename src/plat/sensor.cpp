@@ -1,0 +1,75 @@
+#include "plat/sensor.hpp"
+
+namespace loom::plat {
+
+Sensor::Sensor(sim::Scheduler& scheduler, std::string name, Intc& intc,
+               unsigned irq_line, std::uint64_t seed, sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket"),
+      dma_(full_name() + ".dma"),
+      intc_(intc),
+      irq_line_(irq_line),
+      capture_requested_(scheduler, full_name() + ".capture"),
+      rng_(seed) {
+  socket_.bind(*this);
+  staged_.resize(kImageBytes);
+  for (auto& b : staged_) b = static_cast<std::uint8_t>(rng_.below(256));
+  spawn(capture_process(), "capture");
+}
+
+void Sensor::stage_image(const std::vector<std::uint8_t>& pixels) {
+  staged_ = pixels;
+  staged_.resize(kImageBytes, 0);
+}
+
+sim::Process Sensor::capture_process() {
+  for (;;) {
+    co_await scheduler().wait(capture_requested_);
+    status_ = 1;  // busy: exposure time
+    co_await scheduler().wait(sim::Time::us(5));
+    tlm::Payload p = tlm::Payload::write(dst_addr_, staged_);
+    sim::Time delay;
+    dma_.b_transport(p, delay);
+    co_await scheduler().wait(delay);
+    status_ = 2;  // done
+    ++captures_;
+    intc_.raise(irq_line_);
+  }
+}
+
+void Sensor::b_transport(tlm::Payload& trans, sim::Time& delay) {
+  delay += sim::Time::ns(5);
+  if (trans.length() != 4) {
+    trans.set_response(tlm::Response::GenericError);
+    return;
+  }
+  switch (trans.address()) {
+    case kCtrl:
+      if (trans.command() != tlm::Command::Write) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      if (trans.get_u32() == 1) capture_requested_.notify();
+      break;
+    case kStatus:
+      if (trans.command() != tlm::Command::Read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(status_);
+      break;
+    case kDstAddr:
+      if (trans.command() == tlm::Command::Read) {
+        trans.set_u32(dst_addr_);
+      } else {
+        dst_addr_ = trans.get_u32();
+      }
+      break;
+    default:
+      trans.set_response(tlm::Response::AddressError);
+      return;
+  }
+  trans.set_response(tlm::Response::Ok);
+}
+
+}  // namespace loom::plat

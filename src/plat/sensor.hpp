@@ -1,0 +1,55 @@
+// Image sensor (SEN of Fig. 2): on a capture command it writes one image
+// into memory over the bus (taking exposure + transfer time) and raises its
+// interrupt line.
+//
+//   0x00 CTRL     (WO)  1 = capture
+//   0x04 STATUS   (RO)  0 idle, 1 busy, 2 done
+//   0x08 DST_ADDR (RW)  memory destination of the captured image
+#pragma once
+
+#include "plat/intc.hpp"
+#include "sim/module.hpp"
+#include "support/rng.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Sensor final : public sim::Module, public tlm::BlockingTransport {
+ public:
+  static constexpr std::uint64_t kCtrl = 0x00;
+  static constexpr std::uint64_t kStatus = 0x04;
+  static constexpr std::uint64_t kDstAddr = 0x08;
+
+  static constexpr std::size_t kImageBytes = 64;
+
+  Sensor(sim::Scheduler& scheduler, std::string name, Intc& intc,
+         unsigned irq_line, std::uint64_t seed,
+         sim::Module* parent = nullptr);
+
+  tlm::TargetSocket& socket() { return socket_; }
+  tlm::InitiatorSocket& dma() { return dma_; }
+
+  /// The image the next capture will produce (testbench control: matching
+  /// or non-matching faces).
+  void stage_image(const std::vector<std::uint8_t>& pixels);
+
+  std::uint64_t captures() const { return captures_; }
+
+  void b_transport(tlm::Payload& trans, sim::Time& delay) override;
+
+ private:
+  sim::Process capture_process();
+
+  tlm::TargetSocket socket_;
+  tlm::InitiatorSocket dma_;
+  Intc& intc_;
+  unsigned irq_line_;
+  sim::Event capture_requested_;
+  support::Rng rng_;
+  std::vector<std::uint8_t> staged_;
+  std::uint32_t status_ = 0;
+  std::uint32_t dst_addr_ = 0;
+  std::uint64_t captures_ = 0;
+};
+
+}  // namespace loom::plat

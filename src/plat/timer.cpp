@@ -1,0 +1,67 @@
+#include "plat/timer.hpp"
+
+namespace loom::plat {
+
+Timer::Timer(sim::Scheduler& scheduler, std::string name, Intc& intc,
+             unsigned irq_line, sim::Module* parent)
+    : sim::Module(scheduler, std::move(name), parent),
+      socket_(full_name() + ".socket"),
+      intc_(intc),
+      irq_line_(irq_line),
+      expiry_(scheduler, full_name() + ".expiry") {
+  socket_.bind(*this);
+  expiry_.on_trigger([this] {
+    if (!running_) return;
+    running_ = false;
+    ++expirations_;
+    intc_.raise(irq_line_);
+  });
+}
+
+void Timer::start() {
+  running_ = true;
+  expiry_.cancel();
+  expiry_.notify(sim::Time::ns(load_ns_));
+}
+
+void Timer::b_transport(tlm::Payload& trans, sim::Time& delay) {
+  delay += sim::Time::ns(5);
+  if (trans.length() != 4) {
+    trans.set_response(tlm::Response::GenericError);
+    return;
+  }
+  switch (trans.address()) {
+    case kLoadNs:
+      if (trans.command() == tlm::Command::Read) {
+        trans.set_u32(load_ns_);
+      } else {
+        load_ns_ = trans.get_u32();
+      }
+      break;
+    case kCtrl:
+      if (trans.command() != tlm::Command::Write) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      if (trans.get_u32() == 1) {
+        start();
+      } else {
+        running_ = false;
+        expiry_.cancel();
+      }
+      break;
+    case kStatus:
+      if (trans.command() != tlm::Command::Read) {
+        trans.set_response(tlm::Response::CommandError);
+        return;
+      }
+      trans.set_u32(running_ ? 1 : 0);
+      break;
+    default:
+      trans.set_response(tlm::Response::AddressError);
+      return;
+  }
+  trans.set_response(tlm::Response::Ok);
+}
+
+}  // namespace loom::plat

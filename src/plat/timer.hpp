@@ -1,0 +1,45 @@
+// Programmable one-shot timer (TMR1 / TMR2 of Fig. 2).
+//
+//   0x00 LOAD_NS (RW)  timeout in nanoseconds
+//   0x04 CTRL    (WO)  1 = start (restarts if running), 0 = cancel
+//   0x08 STATUS  (RO)  1 while running
+// On expiry the timer raises its interrupt line.
+#pragma once
+
+#include <cstdint>
+
+#include "plat/intc.hpp"
+#include "sim/module.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::plat {
+
+class Timer final : public sim::Module, public tlm::BlockingTransport {
+ public:
+  static constexpr std::uint64_t kLoadNs = 0x00;
+  static constexpr std::uint64_t kCtrl = 0x04;
+  static constexpr std::uint64_t kStatus = 0x08;
+
+  Timer(sim::Scheduler& scheduler, std::string name, Intc& intc,
+        unsigned irq_line, sim::Module* parent = nullptr);
+
+  tlm::TargetSocket& socket() { return socket_; }
+
+  void b_transport(tlm::Payload& trans, sim::Time& delay) override;
+
+  bool running() const { return running_; }
+  std::uint64_t expirations() const { return expirations_; }
+
+ private:
+  void start();
+
+  tlm::TargetSocket socket_;
+  Intc& intc_;
+  unsigned irq_line_;
+  sim::Event expiry_;
+  std::uint32_t load_ns_ = 0;
+  bool running_ = false;
+  std::uint64_t expirations_ = 0;
+};
+
+}  // namespace loom::plat

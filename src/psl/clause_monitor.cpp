@@ -1,0 +1,222 @@
+#include "psl/clause_monitor.hpp"
+
+namespace loom::psl {
+
+ClauseMonitor::ClauseMonitor(Encoding encoding)
+    : encoding_(std::move(encoding)),
+      lexer_(encoding_.vocab, stats_),
+      armed_(encoding_.clauses.size(), false) {
+  for (std::size_t c = 0; c < encoding_.clauses.size(); ++c) {
+    armed_[c] = encoding_.clauses[c].initially_armed;
+  }
+  range_seen_.resize(encoding_.fragments.size());
+  for (std::size_t f = 0; f < encoding_.fragments.size(); ++f) {
+    range_seen_[f].assign(encoding_.fragments[f].per_range.size(), false);
+  }
+}
+
+void ClauseMonitor::violate(std::size_t ordinal, sim::Time time,
+                            spec::Name name, std::string reason) {
+  verdict_ = mon::Verdict::Violated;
+  violation_ = mon::Violation{ordinal, time, name, std::move(reason)};
+}
+
+void ClauseMonitor::reset_round() {
+  for (auto& f : range_seen_) f.assign(f.size(), false);
+  armed_obligation_ = false;
+  q_done_ = false;
+  in_progress_ = false;
+}
+
+void ClauseMonitor::process_token(spec::Name token, sim::Time time,
+                                  std::size_t ordinal) {
+  // [14] accounting: the whole clause network re-evaluates on every token.
+  stats_.add(encoding_.ops_per_token());
+
+  for (std::size_t c = 0; c < encoding_.clauses.size(); ++c) {
+    const Clause& clause = encoding_.clauses[c];
+    if (armed_[c] && clause.forbid.test(token)) {
+      violate(ordinal, time, token,
+              std::string("PSL conjunct violated (") + to_string(clause.kind) +
+                  "): " + to_string(clause.formula, encoding_.vocab.texts()));
+      return;
+    }
+    if (clause.arm.test(token)) armed_[c] = true;
+    if (clause.disarm.test(token)) armed_[c] = false;
+  }
+
+  // Token-granular timing for timed implications.
+  if (encoding_.timed) {
+    // Locate the token's fragment/range.
+    for (std::size_t f = 0; f < encoding_.fragments.size(); ++f) {
+      const auto& ft = encoding_.fragments[f];
+      for (std::size_t r = 0; r < ft.per_range.size(); ++r) {
+        if (ft.per_range[r].test(token)) range_seen_[f][r] = true;
+      }
+    }
+    auto fragment_done = [&](std::size_t f) {
+      const auto& ft = encoding_.fragments[f];
+      if (ft.join == spec::Join::Conj) {
+        for (std::size_t r = 0; r < ft.per_range.size(); ++r) {
+          if (!range_seen_[f][r]) return false;
+        }
+        return true;
+      }
+      for (std::size_t r = 0; r < ft.per_range.size(); ++r) {
+        if (range_seen_[f][r]) return true;
+      }
+      return false;
+    };
+    if (!armed_obligation_) {
+      bool p_done = true;
+      for (std::size_t f = 0; f < encoding_.p_fragment_count; ++f) {
+        p_done = p_done && fragment_done(f);
+      }
+      if (p_done) {
+        armed_obligation_ = true;
+        t_start_ = time;
+      }
+    }
+    if (armed_obligation_ && !q_done_) {
+      bool all_done = true;
+      for (std::size_t f = 0; f < encoding_.fragments.size(); ++f) {
+        all_done = all_done && fragment_done(f);
+      }
+      if (all_done) {
+        q_done_ = true;
+        if (time - t_start_ > encoding_.bound) {
+          violate(ordinal, time, token,
+                  "consequent finished after the deadline (took " +
+                      (time - t_start_).to_string() + ", bound " +
+                      encoding_.bound.to_string() + ")");
+          return;
+        }
+      }
+    }
+  }
+
+  if (encoding_.reset_tokens.test(token)) {
+    if (encoding_.retire_on_reset) {
+      verdict_ = mon::Verdict::Holds;
+      return;
+    }
+    ++rounds_;
+    reset_round();
+  } else {
+    in_progress_ = true;
+  }
+}
+
+void ClauseMonitor::observe(spec::Name name, sim::Time time) {
+  const auto before = stats_.begin_event();
+  const std::size_t ordinal = ordinal_++;
+  if (verdict_ == mon::Verdict::Violated ||
+      verdict_ == mon::Verdict::Holds) {
+    stats_.end_event(before);
+    return;
+  }
+  stats_.add();  // alphabet filter
+  if (!encoding_.vocab.has_source(name)) {
+    stats_.end_event(before);
+    return;
+  }
+  if (encoding_.timed && armed_obligation_ && !q_done_ &&
+      time > t_start_ + encoding_.bound) {
+    violate(ordinal, time, name,
+            "deadline elapsed before the consequent finished");
+    stats_.end_event(before);
+    return;
+  }
+  token_buffer_.clear();
+  const RleLexer::Result r = lexer_.step(name, token_buffer_);
+  if (r.error) {
+    violate(ordinal, time, name, "lexer: " + r.reason);
+    stats_.end_event(before);
+    return;
+  }
+  for (const auto token : token_buffer_) {
+    process_token(token, time, ordinal);
+    if (verdict_ == mon::Verdict::Violated ||
+        verdict_ == mon::Verdict::Holds) {
+      break;
+    }
+  }
+  if (verdict_ != mon::Verdict::Violated && verdict_ != mon::Verdict::Holds) {
+    verdict_ = in_progress_ || lexer_.block_open() ? mon::Verdict::Pending
+                                                   : mon::Verdict::Monitoring;
+  }
+  stats_.end_event(before);
+}
+
+void ClauseMonitor::finish(sim::Time end_time) {
+  if (verdict_ == mon::Verdict::Violated ||
+      verdict_ == mon::Verdict::Holds) {
+    return;
+  }
+  token_buffer_.clear();
+  bool pending = false;
+  (void)lexer_.finish(token_buffer_, pending);
+  for (const auto token : token_buffer_) {
+    process_token(token, end_time, ordinal_);
+    if (verdict_ == mon::Verdict::Violated ||
+        verdict_ == mon::Verdict::Holds) {
+      return;
+    }
+  }
+  if (encoding_.timed && armed_obligation_ && !q_done_ &&
+      end_time > t_start_ + encoding_.bound) {
+    violate(ordinal_, end_time, spec::kInvalidName,
+            "observation ended after the deadline with the consequent "
+            "unfinished");
+    return;
+  }
+  if (encoding_.timed && q_done_) {
+    verdict_ = mon::Verdict::Monitoring;
+    return;
+  }
+  verdict_ = in_progress_ || pending ? mon::Verdict::Pending
+                                     : mon::Verdict::Monitoring;
+}
+
+void ClauseMonitor::poll(sim::Time now) {
+  if (verdict_ == mon::Verdict::Violated) return;
+  if (encoding_.timed && armed_obligation_ && !q_done_ &&
+      now > t_start_ + encoding_.bound) {
+    violate(ordinal_, now, spec::kInvalidName,
+            "deadline elapsed before the consequent finished (watchdog)");
+  }
+}
+
+std::optional<sim::Time> ClauseMonitor::deadline() const {
+  if (encoding_.timed && armed_obligation_ && !q_done_) {
+    return t_start_ + encoding_.bound;
+  }
+  return std::nullopt;
+}
+
+std::size_t ClauseMonitor::space_bits() const {
+  std::size_t bits = encoding_.clause_bits() + lexer_.space_bits() + 2;
+  if (encoding_.timed) {
+    // PSL cannot express the real-time bound: like the paper's §5(ii)
+    // construction, the ViaPSL timed monitor carries the same two sc_time
+    // variables plus armed/q_done flags and per-range completion bits.
+    bits += 2 * 64 + 2;
+    for (const auto& f : encoding_.fragments) bits += f.per_range.size();
+  }
+  return bits;
+}
+
+void ClauseMonitor::reset() {
+  for (std::size_t c = 0; c < encoding_.clauses.size(); ++c) {
+    armed_[c] = encoding_.clauses[c].initially_armed;
+  }
+  lexer_.reset();
+  reset_round();
+  verdict_ = mon::Verdict::Monitoring;
+  violation_.reset();
+  rounds_ = 0;
+  ordinal_ = 0;
+  stats_.reset();
+}
+
+}  // namespace loom::psl

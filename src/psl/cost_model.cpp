@@ -1,0 +1,113 @@
+#include "psl/cost_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "mon/stats.hpp"
+
+namespace loom::psl {
+namespace {
+
+std::uint64_t width(const spec::Range& r) {
+  return static_cast<std::uint64_t>(r.hi) - r.lo + 1;
+}
+
+/// Mirrors translate.cpp over the chain; `has_trigger` adds one token and
+/// makes the trigger the reset point, otherwise the (single-range) final
+/// fragment is the reset.
+PslCost estimate_chain(const std::vector<spec::Fragment>& chain,
+                       bool has_trigger, bool with_after) {
+  PslCost cost;
+
+  std::vector<std::uint64_t> fragment_tokens(chain.size(), 0);
+  std::uint64_t chain_tokens = 0;
+  std::uint32_t max_hi = 1;
+  std::uint64_t source_count = has_trigger ? 1 : 0;
+  for (std::size_t f = 0; f < chain.size(); ++f) {
+    for (const auto& r : chain[f].ranges) {
+      fragment_tokens[f] += width(r);
+      max_hi = std::max(max_hi, r.hi);
+      ++source_count;
+    }
+    chain_tokens += fragment_tokens[f];
+  }
+  const std::uint64_t total_tokens = chain_tokens + (has_trigger ? 1 : 0);
+  cost.tokens = total_tokens;
+
+  const std::size_t reset_fragment = has_trigger ? chain.size() : chain.size() - 1;
+  const std::uint64_t reset_width =
+      has_trigger ? 1 : width(chain.back().ranges.front());
+  const std::uint64_t reset_dis = 2 * reset_width - 1;
+
+  auto add = [&](std::uint64_t count, std::uint64_t size,
+                 std::uint64_t bits) {
+    cost.clauses += count;
+    cost.ops_per_token += count * size;
+    cost.clause_bits += count * bits;
+  };
+
+  // Asynch: C(N, 2) mutex clauses of size 5 (G, !, &&, atom, atom).
+  add(total_tokens * (total_tokens - 1) / 2, 5, 1);
+
+  for (std::size_t f = 0; f < chain.size(); ++f) {
+    for (const auto& r : chain[f].ranges) {
+      const std::uint64_t w = width(r);
+      // MaxOne: one per token, G(a -> X(!a U! reset)).
+      add(w, 7 + reset_dis, 3);
+      // Range: ordered pairs within the range, G(a -> (!b U! reset)).
+      add(w * (w - 1), 6 + reset_dis, 2);
+      // Before/After per-range groups for ∧-fragments.
+      if (f != reset_fragment && chain[f].join == spec::Join::Conj) {
+        const std::uint64_t group = 2 * w - 1;
+        add(1, 2 + reset_dis + group, 1);  // Before
+        if (with_after) add(1, 5 + 2 * reset_dis + group, 3);
+      }
+    }
+    // Before/After whole-fragment groups for ∨-fragments.
+    if (f != reset_fragment && chain[f].join == spec::Join::Disj) {
+      const std::uint64_t group = 2 * fragment_tokens[f] - 1;
+      add(1, 2 + reset_dis + group, 1);
+      if (with_after) add(1, 5 + 2 * reset_dis + group, 3);
+    }
+  }
+
+  // Order: adjacent-fragment token products.
+  for (std::size_t f = 1; f < chain.size(); ++f) {
+    add(fragment_tokens[f] * fragment_tokens[f - 1], 6 + reset_dis, 2);
+  }
+
+  // Lexer (Δ): counter sized by the largest bound, current-source register,
+  // emitted flag; ~5 primitive operations per source event.
+  cost.lexer_bits = mon::bits_for_value(max_hi) +
+                    mon::bits_for_value(source_count) + 1;
+  cost.lexer_ops = 5;
+  return cost;
+}
+
+}  // namespace
+
+PslCost estimate(const spec::Antecedent& a) {
+  return estimate_chain(a.pattern.fragments, /*has_trigger=*/true,
+                        /*with_after=*/a.repeated);
+}
+
+PslCost estimate(const spec::TimedImplication& t) {
+  std::vector<spec::Fragment> chain = t.antecedent.fragments;
+  chain.insert(chain.end(), t.consequent.fragments.begin(),
+               t.consequent.fragments.end());
+  PslCost cost =
+      estimate_chain(chain, /*has_trigger=*/false, /*with_after=*/true);
+  // sc_time start/stop + armed/q_done + one completion bit per range
+  // (mirrors ClauseMonitor::space_bits).
+  std::uint64_t ranges = 0;
+  for (const auto& f : chain) ranges += f.ranges.size();
+  cost.timed_bits = 2 * 64 + 2 + ranges;
+  return cost;
+}
+
+PslCost estimate(const spec::Property& p) {
+  if (p.is_antecedent()) return estimate(p.antecedent());
+  return estimate(p.timed());
+}
+
+}  // namespace loom::psl

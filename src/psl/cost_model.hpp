@@ -1,0 +1,35 @@
+// Analytic cost model of the ViaPSL monitors.
+//
+// Computes, without materializing the encoding, exactly the clause count,
+// per-token operation count and state bits that translate.cpp +
+// clause_monitor.cpp would produce.  Needed for the paper's Figure 6 rows
+// with ranges like [100, 60000], whose encodings have ~10^9 conjuncts and
+// cannot be built; validated against materialized encodings on small
+// instances (tests/psl_cost_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "spec/ast.hpp"
+
+namespace loom::psl {
+
+struct PslCost {
+  std::uint64_t tokens = 0;         // unfolded vocabulary size
+  std::uint64_t clauses = 0;        // conjuncts of the encoding
+  std::uint64_t ops_per_token = 0;  // Σ clause formula sizes ([14] work)
+  std::uint64_t clause_bits = 0;    // Σ clause temporal operators
+  std::uint64_t lexer_bits = 0;     // Δ: run-length lexer state
+  std::uint64_t lexer_ops = 0;      // Δ: lexer work per source event
+  std::uint64_t timed_bits = 0;     // sc_time start/stop + flags (timed only)
+
+  std::uint64_t total_bits() const {
+    return clause_bits + lexer_bits + timed_bits + 2;
+  }
+};
+
+PslCost estimate(const spec::Antecedent& a);
+PslCost estimate(const spec::TimedImplication& t);
+PslCost estimate(const spec::Property& p);
+
+}  // namespace loom::psl

@@ -1,0 +1,48 @@
+#include "psl/evaluator.hpp"
+
+namespace loom::psl {
+
+bool eval_at(const FormulaPtr& f, const std::vector<spec::Name>& word,
+             std::size_t pos) {
+  switch (f->op) {
+    case Op::True:
+      return true;
+    case Op::False:
+      return false;
+    case Op::Atom:
+      return pos < word.size() && word[pos] == f->atom;
+    case Op::Not:
+      return !eval_at(f->lhs, word, pos);
+    case Op::And:
+      return eval_at(f->lhs, word, pos) && eval_at(f->rhs, word, pos);
+    case Op::Or:
+      return eval_at(f->lhs, word, pos) || eval_at(f->rhs, word, pos);
+    case Op::Implies:
+      return !eval_at(f->lhs, word, pos) || eval_at(f->rhs, word, pos);
+    case Op::Next:
+      return pos + 1 < word.size() && eval_at(f->lhs, word, pos + 1);
+    case Op::Until:
+      for (std::size_t k = pos; k < word.size(); ++k) {
+        if (eval_at(f->rhs, word, k)) return true;
+        if (!eval_at(f->lhs, word, k)) return false;
+      }
+      return false;  // strong until: ψ must occur
+    case Op::Always:
+      for (std::size_t k = pos; k < word.size(); ++k) {
+        if (!eval_at(f->lhs, word, k)) return false;
+      }
+      return true;
+    case Op::Eventually:
+      for (std::size_t k = pos; k < word.size(); ++k) {
+        if (eval_at(f->lhs, word, k)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool eval(const FormulaPtr& f, const std::vector<spec::Name>& word) {
+  return eval_at(f, word, 0);
+}
+
+}  // namespace loom::psl

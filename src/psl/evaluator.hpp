@@ -1,0 +1,25 @@
+// Finite-trace LTL evaluator (ground truth for the clause automata).
+//
+// Evaluates a formula on a complete finite token word with the *strong*
+// reading: X φ is false at the last position, and φ U! ψ requires ψ to
+// occur within the word.  This replaces the paper's SPOT validation: the
+// clause automata of clause_monitor.cpp are checked against this evaluator
+// on exhaustive small words, and the full encodings are checked against the
+// Drct monitors and the declarative reference on random traces.
+#pragma once
+
+#include <vector>
+
+#include "psl/formula.hpp"
+
+namespace loom::psl {
+
+/// Truth of `f` at position `pos` of `word` (one token per step).
+bool eval_at(const FormulaPtr& f, const std::vector<spec::Name>& word,
+             std::size_t pos);
+
+/// Truth at the first position; true for the empty word only for formulas
+/// that are vacuously true (G over anything, etc.).
+bool eval(const FormulaPtr& f, const std::vector<spec::Name>& word);
+
+}  // namespace loom::psl

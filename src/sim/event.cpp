@@ -1,0 +1,49 @@
+#include "sim/event.hpp"
+
+#include "sim/scheduler.hpp"
+
+namespace loom::sim {
+
+Event::Event(Scheduler& scheduler, std::string name)
+    : scheduler_(scheduler), name_(std::move(name)) {}
+
+void Event::notify() {
+  // A delta notification overrides any pending timed notification.
+  if (timed_pending_) {
+    ++timed_generation_;
+    timed_pending_ = false;
+  }
+  if (delta_pending_) return;
+  delta_pending_ = true;
+  scheduler_.notify_delta(*this);
+}
+
+void Event::notify(Time delay) {
+  if (delta_pending_) return;  // a delta notification is already earlier
+  const Time at = scheduler_.now() + delay;
+  if (timed_pending_ && timed_at_ <= at) return;  // earlier notification wins
+  ++timed_generation_;
+  timed_pending_ = true;
+  timed_at_ = at;
+  scheduler_.notify_at(at, *this);
+}
+
+void Event::cancel() {
+  delta_pending_ = false;
+  if (timed_pending_) {
+    ++timed_generation_;
+    timed_pending_ = false;
+  }
+}
+
+void Event::trigger() {
+  delta_pending_ = false;
+  timed_pending_ = false;
+  for (auto h : waiters_) scheduler_.schedule_delta(h);
+  waiters_.clear();
+  for (auto& cb : callbacks_) scheduler_.schedule_delta(cb);
+  for (auto& cb : once_callbacks_) scheduler_.schedule_delta(std::move(cb));
+  once_callbacks_.clear();
+}
+
+}  // namespace loom::sim

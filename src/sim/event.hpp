@@ -1,0 +1,84 @@
+// Kernel events, modeled on sc_event.
+//
+// An Event can be notified immediately for the next delta cycle or after a
+// simulated delay.  Following SystemC semantics, at most one timed
+// notification is pending per event and an earlier notification overrides a
+// later pending one.  Both coroutine waiters (`co_await event.wait()`) and
+// plain callbacks (monitor taps) are supported.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace loom::sim {
+
+class Scheduler;
+
+class Event {
+ public:
+  explicit Event(Scheduler& scheduler, std::string name = "");
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Notifies the event for the next delta cycle.
+  void notify();
+
+  /// Notifies the event `delay` after the current time.  An already pending
+  /// notification that would fire earlier wins; a later one is replaced.
+  void notify(Time delay);
+
+  /// Cancels any pending (delta or timed) notification.
+  void cancel();
+
+  /// Registers a persistent callback invoked each time the event triggers.
+  void on_trigger(std::function<void()> fn) {
+    callbacks_.push_back(std::move(fn));
+  }
+
+  /// Registers a callback invoked only on the next trigger.
+  void on_next_trigger(std::function<void()> fn) {
+    once_callbacks_.push_back(std::move(fn));
+  }
+
+  /// Awaitable: suspends the calling process until the event triggers.
+  auto wait() {
+    struct Awaiter {
+      Event& event;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        event.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  friend class Scheduler;
+  friend struct EventAwaiter;
+
+  /// Resumes waiters and fires callbacks; called by the kernel when the
+  /// notification matures.
+  void trigger();
+
+  Scheduler& scheduler_;
+  std::string name_;
+  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::function<void()>> callbacks_;
+  std::vector<std::function<void()>> once_callbacks_;
+
+  bool delta_pending_ = false;
+  bool timed_pending_ = false;
+  Time timed_at_;
+  std::uint64_t timed_generation_ = 0;  // invalidates cancelled timed notifies
+};
+
+}  // namespace loom::sim

@@ -1,0 +1,117 @@
+// Bounded FIFO channel with blocking put/get — the sc_fifo analogue of the
+// kernel substrate.  Producers suspend when the queue is full, consumers
+// when it is empty; non-blocking variants and occupancy events support
+// polling styles.
+//
+// Like sc_fifo, the blocking interface is designed for one producer and
+// one consumer process per FIFO; with several concurrent blocked producers
+// the occupancy can transiently overshoot by the number of simultaneously
+// woken writers (use nb_put and retry loops for many-to-one traffic).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "sim/event.hpp"
+#include "sim/scheduler.hpp"
+
+namespace loom::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Scheduler& scheduler, std::string name, std::size_t capacity)
+      : sched_(scheduler),
+        name_(std::move(name)),
+        capacity_(capacity == 0 ? 1 : capacity),
+        data_written_(scheduler, name_ + ".written"),
+        data_read_(scheduler, name_ + ".read") {}
+
+  std::size_t size() const { return queue_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return queue_.empty(); }
+  bool full() const { return queue_.size() >= capacity_; }
+
+  /// Non-blocking put; false when full.
+  bool nb_put(T value) {
+    if (full()) return false;
+    queue_.push_back(std::move(value));
+    data_written_.notify();
+    return true;
+  }
+
+  /// Non-blocking get; nullopt when empty.
+  std::optional<T> nb_get() {
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    data_read_.notify();
+    return value;
+  }
+
+  /// Awaitable blocking put: suspends while the FIFO is full.
+  /// Usage: `co_await fifo.put(v);`
+  auto put(T value) {
+    struct Awaiter {
+      Fifo& fifo;
+      T value;
+      bool await_ready() { return !fifo.full(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        fifo.data_read_.on_next_trigger([this, h] {
+          if (!fifo.full()) {
+            fifo.sched_.schedule_delta(h);
+          } else {
+            await_suspend(h);  // still full: wait for the next read
+          }
+        });
+      }
+      void await_resume() { fifo.force_put(std::move(value)); }
+    };
+    return Awaiter{*this, std::move(value)};
+  }
+
+  /// Awaitable blocking get: suspends while the FIFO is empty.
+  /// Usage: `T v = co_await fifo.get();`
+  auto get() {
+    struct Awaiter {
+      Fifo& fifo;
+      bool await_ready() { return !fifo.empty(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        fifo.data_written_.on_next_trigger([this, h] {
+          if (!fifo.empty()) {
+            fifo.sched_.schedule_delta(h);
+          } else {
+            await_suspend(h);
+          }
+        });
+      }
+      T await_resume() {
+        T value = std::move(fifo.queue_.front());
+        fifo.queue_.pop_front();
+        fifo.data_read_.notify();
+        return value;
+      }
+    };
+    return Awaiter{*this};
+  }
+
+  /// Triggered after each successful put / get.
+  Event& data_written_event() { return data_written_; }
+  Event& data_read_event() { return data_read_; }
+
+ private:
+  void force_put(T value) {
+    queue_.push_back(std::move(value));
+    data_written_.notify();
+  }
+
+  Scheduler& sched_;
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> queue_;
+  Event data_written_;
+  Event data_read_;
+};
+
+}  // namespace loom::sim

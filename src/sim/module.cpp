@@ -1,0 +1,19 @@
+#include "sim/module.hpp"
+
+namespace loom::sim {
+
+Module::Module(Scheduler& scheduler, std::string name, Module* parent)
+    : sched_(scheduler), name_(std::move(name)), parent_(parent) {
+  if (parent_ != nullptr) parent_->children_.push_back(this);
+}
+
+std::string Module::full_name() const {
+  if (parent_ == nullptr) return name_;
+  return parent_->full_name() + "." + name_;
+}
+
+void Module::spawn(Process process, const std::string& process_name) {
+  sched_.spawn(std::move(process), full_name() + "." + process_name);
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,43 @@
+// Module hierarchy, modeled on sc_module.
+//
+// A Module owns simulation processes and lives in a named hierarchy used
+// for diagnostics ("top.ipu.engine").  Modules must outlive the scheduler
+// run; they are typically stack- or platform-owned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/scheduler.hpp"
+
+namespace loom::sim {
+
+class Module {
+ public:
+  Module(Scheduler& scheduler, std::string name, Module* parent = nullptr);
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  /// Dot-separated hierarchical name from the root, e.g. "top.ipu".
+  std::string full_name() const;
+
+  Scheduler& scheduler() const { return sched_; }
+  Module* parent() const { return parent_; }
+  const std::vector<Module*>& children() const { return children_; }
+
+ protected:
+  /// Registers a coroutine process under this module's name.
+  void spawn(Process process, const std::string& process_name = "proc");
+
+ private:
+  Scheduler& sched_;
+  std::string name_;
+  Module* parent_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace loom::sim

@@ -1,0 +1,15 @@
+#include "sim/process.hpp"
+
+#include "sim/scheduler.hpp"
+
+namespace loom::sim {
+
+void Process::promise_type::unhandled_exception() {
+  if (scheduler != nullptr) {
+    scheduler->report_exception(std::current_exception());
+  } else {
+    throw;  // not owned by a kernel: propagate out of resume()
+  }
+}
+
+}  // namespace loom::sim

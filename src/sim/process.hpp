@@ -1,0 +1,64 @@
+// Simulation processes as C++20 coroutines.
+//
+// A Process plays the role of an SC_THREAD: a coroutine that suspends on
+// `co_await scheduler.wait(...)` and is resumed by the kernel.  Handles are
+// owned either by the Process wrapper (before spawn) or by the Scheduler
+// (after spawn); they are never shared.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace loom::sim {
+
+class Scheduler;
+
+class Process {
+ public:
+  struct promise_type {
+    Scheduler* scheduler = nullptr;  // set by Scheduler::spawn
+
+    Process get_return_object() {
+      return Process(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception();
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Process() = default;
+  Process(Process&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  /// Transfers ownership of the coroutine frame (used by Scheduler::spawn).
+  Handle release() { return std::exchange(handle_, {}); }
+
+ private:
+  explicit Process(Handle h) : handle_(h) {}
+
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace loom::sim

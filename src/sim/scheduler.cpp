@@ -1,0 +1,186 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+#include "sim/event.hpp"
+
+namespace loom::sim {
+
+Scheduler::~Scheduler() {
+  for (auto& rec : processes_) {
+    if (rec.handle) rec.handle.destroy();
+  }
+}
+
+void Scheduler::spawn(Process process, std::string name) {
+  Process::Handle h = process.release();
+  if (!h) return;
+  h.promise().scheduler = this;
+  processes_.push_back({h, std::move(name)});
+  next_runnable_.emplace_back(std::coroutine_handle<>(h));
+}
+
+void Scheduler::schedule_at(Time t, std::coroutine_handle<> h) {
+  TimedEntry entry;
+  entry.time = t;
+  entry.seq = seq_++;
+  entry.handle = h;
+  timed_.push(std::move(entry));
+}
+
+void Scheduler::schedule_at(Time t, std::function<void()> fn,
+                            CancelToken token) {
+  TimedEntry entry;
+  entry.time = t;
+  entry.seq = seq_++;
+  entry.callback = std::move(fn);
+  entry.cancel_token = std::move(token);
+  timed_.push(std::move(entry));
+}
+
+void Scheduler::schedule_delta(std::coroutine_handle<> h) {
+  next_runnable_.emplace_back(h);
+}
+
+void Scheduler::schedule_delta(std::function<void()> fn) {
+  next_runnable_.emplace_back(std::move(fn));
+}
+
+void Scheduler::notify_at(Time t, Event& event) {
+  TimedEntry entry;
+  entry.time = t;
+  entry.seq = seq_++;
+  entry.event = &event;
+  entry.event_generation = event.timed_generation_;
+  timed_.push(std::move(entry));
+}
+
+void Scheduler::notify_delta(Event& event) { delta_events_.push_back(&event); }
+
+void Scheduler::request_update(Updatable& channel) {
+  update_queue_.push_back(&channel);
+}
+
+bool Scheduler::idle() const {
+  return next_runnable_.empty() && delta_events_.empty() && timed_.empty();
+}
+
+void Scheduler::run_runnable(Runnable& r) {
+  if (auto* h = std::get_if<std::coroutine_handle<>>(&r)) {
+    if (*h && !h->done()) h->resume();
+  } else {
+    std::get<std::function<void()>>(r)();
+  }
+}
+
+void Scheduler::evaluation_phase() {
+  for (auto& r : runnable_) {
+    if (stop_requested_) break;
+    run_runnable(r);
+  }
+  runnable_.clear();
+}
+
+void Scheduler::update_phase() {
+  // Updates may request further updates (rare); process in waves.
+  std::vector<Updatable*> queue;
+  std::swap(queue, update_queue_);
+  for (Updatable* u : queue) u->update();
+}
+
+void Scheduler::delta_notification_phase() {
+  std::vector<Event*> events;
+  std::swap(events, delta_events_);
+  for (Event* e : events) {
+    if (e->delta_pending_) e->trigger();
+  }
+}
+
+bool Scheduler::advance_time(Time limit) {
+  // Drop stale timed notifications (cancelled or superseded).
+  while (!timed_.empty()) {
+    const TimedEntry& top = timed_.top();
+    if (top.event != nullptr &&
+        (top.event_generation != top.event->timed_generation_ ||
+         !top.event->timed_pending_)) {
+      timed_.pop();
+      continue;
+    }
+    if (top.cancel_token != nullptr && *top.cancel_token) {
+      timed_.pop();
+      continue;
+    }
+    break;
+  }
+  if (timed_.empty()) return false;
+  const Time t = timed_.top().time;
+  if (t > limit) {
+    if (limit != Time::max()) now_ = limit;
+    return false;
+  }
+  now_ = t;
+  while (!timed_.empty() && timed_.top().time == t) {
+    TimedEntry entry = timed_.top();
+    timed_.pop();
+    if (entry.event != nullptr) {
+      if (entry.event_generation == entry.event->timed_generation_ &&
+          entry.event->timed_pending_) {
+        entry.event->trigger();
+      }
+    } else if (entry.handle) {
+      next_runnable_.emplace_back(entry.handle);
+    } else if (entry.callback) {
+      if (entry.cancel_token == nullptr || !*entry.cancel_token) {
+        next_runnable_.emplace_back(std::move(entry.callback));
+      }
+    }
+  }
+  return true;
+}
+
+Time Scheduler::run(Time limit) {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    if (next_runnable_.empty() && delta_events_.empty()) {
+      if (!advance_time(limit)) break;
+      continue;  // triggers may or may not have produced runnables
+    }
+    std::swap(runnable_, next_runnable_);
+    evaluation_phase();
+    update_phase();
+    delta_notification_phase();
+    ++delta_count_;
+    if (pending_exception_) {
+      auto e = std::exchange(pending_exception_, nullptr);
+      std::rethrow_exception(e);
+    }
+  }
+  return now_;
+}
+
+void EventAwaiter::await_suspend(std::coroutine_handle<> h) {
+  event.waiters_.push_back(h);
+}
+
+void EventTimeoutAwaiter::await_suspend(std::coroutine_handle<> h) {
+  auto st = state;
+  Scheduler* s = &sched;
+  auto cancel = std::make_shared<bool>(false);
+  event.on_next_trigger([st, s, h, cancel] {
+    if (st->settled) return;
+    st->settled = true;
+    st->event_fired = true;
+    *cancel = true;  // drop the pending timeout entry
+    s->schedule_delta(h);
+  });
+  sched.schedule_at(
+      sched.now() + timeout,
+      [st, s, h] {
+        if (st->settled) return;
+        st->settled = true;
+        s->schedule_delta(h);
+      },
+      cancel);
+}
+
+}  // namespace loom::sim

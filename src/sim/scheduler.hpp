@@ -1,0 +1,199 @@
+// Discrete-event simulation kernel.
+//
+// Implements the SystemC evaluate/update/delta-notification cycle:
+//   1. evaluation  - resume every runnable process / callback;
+//   2. update      - apply primitive-channel updates (Signal<T>);
+//   3. delta       - trigger delta-notified events, collect new runnables;
+//   repeat from 1 while runnables exist, otherwise advance time to the
+//   earliest pending timed notification.
+//
+// The kernel is deliberately single-threaded and deterministic: runnables
+// are executed in FIFO order of scheduling, and timed notifications at equal
+// times fire in notification order.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/time.hpp"
+
+namespace loom::sim {
+
+class Event;
+struct EventAwaiter;
+struct EventTimeoutAwaiter;
+
+/// Primitive channels (e.g. Signal<T>) implement this to take part in the
+/// update phase.
+class Updatable {
+ public:
+  virtual ~Updatable() = default;
+  virtual void update() = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  Time now() const { return now_; }
+  std::uint64_t delta_count() const { return delta_count_; }
+
+  /// Registers a process and makes it runnable in the first delta cycle.
+  void spawn(Process process, std::string name = "process");
+
+  /// Runs until no activity remains or simulated time would exceed `limit`.
+  /// Returns the time at which simulation stopped.
+  Time run(Time limit = Time::max());
+
+  /// Requests an orderly stop; the current evaluation finishes first.
+  void stop() { stop_requested_ = true; }
+  bool stopped() const { return stop_requested_; }
+
+  /// True when no runnable process and no pending notification remain.
+  bool idle() const;
+
+  // --- services used by awaitables, events and channels ---
+
+  /// Awaitable: suspends the caller for `delay` of simulated time.
+  auto wait(Time delay) {
+    struct Awaiter {
+      Scheduler& sched;
+      Time delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sched.schedule_at(sched.now_ + delay, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, delay};
+  }
+
+  /// Awaitable: suspends the caller until `event` triggers.  Convenience
+  /// forwarding so call sites read `co_await sched.wait(ev)`.
+  EventAwaiter wait(Event& event);
+
+  /// Awaitable: waits for `event` with a timeout; resumes with true when the
+  /// event fired, false when the timeout elapsed first.
+  EventTimeoutAwaiter wait(Event& event, Time timeout);
+
+  /// Token for cancellable timed callbacks: set *token = true to cancel.
+  /// A cancelled entry is dropped without advancing simulation time.
+  using CancelToken = std::shared_ptr<bool>;
+
+  /// Schedules a coroutine resumption at absolute time `t`.
+  void schedule_at(Time t, std::coroutine_handle<> h);
+  /// Schedules a callback at absolute time `t` (kernel timeouts, watchdogs).
+  void schedule_at(Time t, std::function<void()> fn,
+                   CancelToken token = nullptr);
+  /// Makes a coroutine runnable in the next delta cycle.
+  void schedule_delta(std::coroutine_handle<> h);
+  /// Runs a callback in the next delta cycle.
+  void schedule_delta(std::function<void()> fn);
+
+  /// Queues a timed notification for `event`.
+  void notify_at(Time t, Event& event);
+  /// Queues a delta notification for `event`.
+  void notify_delta(Event& event);
+
+  /// Registers a channel for the current update phase.
+  void request_update(Updatable& channel);
+
+  /// Records an exception escaping a process; rethrown from run().
+  void report_exception(std::exception_ptr e) {
+    if (!pending_exception_) pending_exception_ = e;
+  }
+
+ private:
+  using Runnable = std::variant<std::coroutine_handle<>, std::function<void()>>;
+
+  struct TimedEntry {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break
+    // Exactly one of the three below is active.
+    Event* event = nullptr;
+    std::uint64_t event_generation = 0;  // matches Event::timed_generation_
+    std::coroutine_handle<> handle;
+    std::function<void()> callback;
+    CancelToken cancel_token;
+
+    bool operator>(const TimedEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void run_runnable(Runnable& r);
+  void evaluation_phase();
+  void update_phase();
+  void delta_notification_phase();
+  /// Pops every timed entry at the earliest time; returns false if none.
+  bool advance_time(Time limit);
+
+  Time now_;
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t seq_ = 0;
+  bool stop_requested_ = false;
+
+  std::vector<Runnable> runnable_;
+  std::vector<Runnable> next_runnable_;
+  std::vector<Event*> delta_events_;
+  std::vector<Updatable*> update_queue_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>>
+      timed_;
+
+  struct ProcessRecord {
+    Process::Handle handle;
+    std::string name;
+  };
+  std::vector<ProcessRecord> processes_;
+
+  std::exception_ptr pending_exception_;
+
+  friend class Event;
+};
+
+/// Awaiter for `co_await sched.wait(event)`.
+struct EventAwaiter {
+  Event& event;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);  // defined in scheduler.cpp
+  void await_resume() const noexcept {}
+};
+
+/// Awaiter for `co_await sched.wait(event, timeout)`; resumes with true when
+/// the event fired before the timeout.
+struct EventTimeoutAwaiter {
+  Scheduler& sched;
+  Event& event;
+  Time timeout;
+
+  struct State {
+    bool settled = false;
+    bool event_fired = false;
+  };
+  std::shared_ptr<State> state = std::make_shared<State>();
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);  // defined in scheduler.cpp
+  bool await_resume() const noexcept { return state->event_fired; }
+};
+
+inline EventAwaiter Scheduler::wait(Event& event) { return EventAwaiter{event}; }
+
+inline EventTimeoutAwaiter Scheduler::wait(Event& event, Time timeout) {
+  return EventTimeoutAwaiter{*this, event, timeout};
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,58 @@
+// Signal<T>: a primitive channel with SystemC update semantics.
+//
+// Writes are buffered during the evaluation phase and become visible in the
+// update phase; value changes notify a delta event.  This gives the usual
+// deterministic "all readers in a delta see the old value" behaviour.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sim/event.hpp"
+#include "sim/scheduler.hpp"
+
+namespace loom::sim {
+
+template <typename T>
+class Signal final : public Updatable {
+ public:
+  Signal(Scheduler& scheduler, std::string name, T initial = T{})
+      : sched_(scheduler),
+        changed_(scheduler, name + ".changed"),
+        name_(std::move(name)),
+        current_(initial),
+        next_(std::move(initial)) {}
+
+  const std::string& name() const { return name_; }
+
+  const T& read() const { return current_; }
+
+  void write(T value) {
+    next_ = std::move(value);
+    if (!update_requested_) {
+      update_requested_ = true;
+      sched_.request_update(*this);
+    }
+  }
+
+  /// Triggered one delta after any write that changed the value.
+  Event& changed() { return changed_; }
+
+  void update() override {
+    update_requested_ = false;
+    if (!(next_ == current_)) {
+      current_ = next_;
+      changed_.notify();
+    }
+  }
+
+ private:
+  Scheduler& sched_;
+  Event changed_;
+  std::string name_;
+  T current_;
+  T next_;
+  bool update_requested_ = false;
+};
+
+}  // namespace loom::sim

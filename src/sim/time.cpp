@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+namespace loom::sim {
+
+std::string Time::to_string() const {
+  if (ps_ == std::numeric_limits<std::uint64_t>::max()) return "inf";
+  struct Unit {
+    std::uint64_t factor;
+    const char* suffix;
+  };
+  static constexpr Unit units[] = {
+      {1000000000000ULL, " s"}, {1000000000ULL, " ms"}, {1000000ULL, " us"},
+      {1000ULL, " ns"},         {1ULL, " ps"},
+  };
+  for (const auto& u : units) {
+    if (ps_ != 0 && ps_ % u.factor == 0) {
+      return std::to_string(ps_ / u.factor) + u.suffix;
+    }
+  }
+  return "0 s";
+}
+
+}  // namespace loom::sim

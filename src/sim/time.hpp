@@ -1,0 +1,67 @@
+// Simulation time.
+//
+// Mirrors SystemC's sc_time: an unsigned count of a fixed base resolution
+// (1 picosecond here).  All kernel and monitor timing (notably the bound t
+// of a timed implication constraint (P => Q, t)) is expressed in this type.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace loom::sim {
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time ps(std::uint64_t v) { return Time(v); }
+  static constexpr Time ns(std::uint64_t v) { return Time(v * 1000ULL); }
+  static constexpr Time us(std::uint64_t v) { return Time(v * 1000000ULL); }
+  static constexpr Time ms(std::uint64_t v) { return Time(v * 1000000000ULL); }
+  static constexpr Time sec(std::uint64_t v) {
+    return Time(v * 1000000000000ULL);
+  }
+
+  /// Largest representable time; used as "no limit".
+  static constexpr Time max() {
+    return Time(std::numeric_limits<std::uint64_t>::max());
+  }
+  static constexpr Time zero() { return Time(0); }
+
+  constexpr std::uint64_t picoseconds() const { return ps_; }
+  constexpr double to_ns() const { return static_cast<double>(ps_) / 1e3; }
+  constexpr double to_us() const { return static_cast<double>(ps_) / 1e6; }
+
+  constexpr bool is_zero() const { return ps_ == 0; }
+
+  friend constexpr bool operator==(Time a, Time b) { return a.ps_ == b.ps_; }
+  friend constexpr bool operator!=(Time a, Time b) { return a.ps_ != b.ps_; }
+  friend constexpr bool operator<(Time a, Time b) { return a.ps_ < b.ps_; }
+  friend constexpr bool operator<=(Time a, Time b) { return a.ps_ <= b.ps_; }
+  friend constexpr bool operator>(Time a, Time b) { return a.ps_ > b.ps_; }
+  friend constexpr bool operator>=(Time a, Time b) { return a.ps_ >= b.ps_; }
+
+  friend constexpr Time operator+(Time a, Time b) {
+    // Saturating: Time::max() + anything stays max (used as "no deadline").
+    const std::uint64_t s = a.ps_ + b.ps_;
+    return Time(s < a.ps_ ? std::numeric_limits<std::uint64_t>::max() : s);
+  }
+  friend constexpr Time operator-(Time a, Time b) {
+    return Time(a.ps_ >= b.ps_ ? a.ps_ - b.ps_ : 0);
+  }
+  friend constexpr Time operator*(Time a, std::uint64_t k) {
+    return Time(a.ps_ * k);
+  }
+
+  Time& operator+=(Time b) { return *this = *this + b; }
+
+  /// Human-readable rendering with the largest exact unit, e.g. "150 ns".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::uint64_t ps) : ps_(ps) {}
+  std::uint64_t ps_ = 0;
+};
+
+}  // namespace loom::sim

@@ -1,0 +1,136 @@
+#include "sim/vcd.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace loom::sim {
+
+VcdWriter::VcdWriter(std::ostream& out, Scheduler& scheduler)
+    : out_(out), sched_(scheduler) {}
+
+VcdWriter::~VcdWriter() { finish(); }
+
+std::string VcdWriter::make_id(std::size_t index) {
+  // Printable identifiers over '!'..'~' (94 symbols), little-endian.
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+VcdWriter::Var VcdWriter::add_wire(const std::string& name, unsigned width) {
+  if (header_done_) {
+    throw std::logic_error("VcdWriter: cannot add variables after dumping");
+  }
+  VarInfo info;
+  info.name = name;
+  info.id = make_id(vars_.size());
+  info.width = width == 0 ? 1 : width;
+  vars_.push_back(std::move(info));
+  return Var{vars_.size() - 1};
+}
+
+VcdWriter::Var VcdWriter::add_event(const std::string& name) {
+  Var var = add_wire(name, 1);
+  vars_[var.index].is_event = true;
+  return var;
+}
+
+void VcdWriter::emit_header() {
+  if (header_done_) return;
+  header_done_ = true;
+  out_ << "$timescale 1ps $end\n";
+
+  // Group variables by their dot-separated scopes.
+  struct Entry {
+    std::vector<std::string> scope;
+    std::string leaf;
+    std::size_t index;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    Entry e;
+    e.index = i;
+    std::string rest = vars_[i].name;
+    std::size_t dot;
+    while ((dot = rest.find('.')) != std::string::npos) {
+      e.scope.push_back(rest.substr(0, dot));
+      rest = rest.substr(dot + 1);
+    }
+    e.leaf = rest;
+    entries.push_back(std::move(e));
+  }
+  std::vector<std::string> open;
+  auto close_to = [&](std::size_t depth) {
+    while (open.size() > depth) {
+      out_ << "$upscope $end\n";
+      open.pop_back();
+    }
+  };
+  for (const auto& e : entries) {
+    std::size_t common = 0;
+    while (common < open.size() && common < e.scope.size() &&
+           open[common] == e.scope[common]) {
+      ++common;
+    }
+    close_to(common);
+    for (std::size_t d = common; d < e.scope.size(); ++d) {
+      out_ << "$scope module " << e.scope[d] << " $end\n";
+      open.push_back(e.scope[d]);
+    }
+    const VarInfo& v = vars_[e.index];
+    out_ << "$var " << (v.is_event ? "event" : "wire") << " " << v.width
+         << " " << v.id << " " << e.leaf << " $end\n";
+  }
+  close_to(0);
+  out_ << "$enddefinitions $end\n";
+}
+
+void VcdWriter::advance_time() {
+  const std::uint64_t now = sched_.now().picoseconds();
+  if (!time_started_ || now != current_ps_) {
+    if (time_started_ && now < current_ps_) {
+      throw std::logic_error("VcdWriter: time went backwards");
+    }
+    out_ << "#" << now << "\n";
+    current_ps_ = now;
+    time_started_ = true;
+  }
+}
+
+void VcdWriter::change(Var var, std::uint64_t value) {
+  VarInfo& info = vars_.at(var.index);
+  if (info.has_value && info.last_value == value && !info.is_event) return;
+  emit_header();
+  advance_time();
+  info.last_value = value;
+  info.has_value = true;
+  if (info.width == 1) {
+    out_ << (value & 1) << info.id << "\n";
+    return;
+  }
+  std::string bits;
+  for (unsigned b = info.width; b-- > 0;) {
+    bits += ((value >> b) & 1) != 0 ? '1' : '0';
+  }
+  out_ << "b" << bits << " " << info.id << "\n";
+}
+
+void VcdWriter::strobe(Var var) {
+  VarInfo& info = vars_.at(var.index);
+  if (!info.is_event) {
+    throw std::logic_error("VcdWriter: strobe on a non-event variable");
+  }
+  emit_header();
+  advance_time();
+  out_ << "1" << info.id << "\n";
+}
+
+void VcdWriter::finish() {
+  emit_header();
+  out_.flush();
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,91 @@
+// Value-change-dump (VCD) writer: waveform output for kernel signals and
+// interface-event strobes, viewable in GTKWave & co.
+//
+// Usage:
+//   std::ofstream out("run.vcd");
+//   VcdWriter vcd(out, scheduler);
+//   auto v = vcd.add_wire("top.ipu.status", 2);
+//   vcd.add_signal("top.lock.open", lock_open_signal);   // auto-tracked
+//   auto e = vcd.add_event("top.ipu.read_img");
+//   ...
+//   vcd.change(v, 1);  vcd.strobe(e);   // stamped with scheduler.now()
+//
+// Timestamps must be monotone (they are, when driven from one kernel).
+// The header is emitted lazily before the first change, so variables can
+// be registered during elaboration in any order.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/signal.hpp"
+
+namespace loom::sim {
+
+class VcdWriter {
+ public:
+  /// Identifies a registered variable.
+  struct Var {
+    std::size_t index = static_cast<std::size_t>(-1);
+  };
+
+  VcdWriter(std::ostream& out, Scheduler& scheduler);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Registers a multi-bit wire; `name` is a dot-separated hierarchy path.
+  Var add_wire(const std::string& name, unsigned width);
+  /// Registers a 1-bit VCD event variable (pulse per strobe()).
+  Var add_event(const std::string& name);
+
+  /// Registers a wire bound to a Signal<T>: changes are dumped
+  /// automatically (T must convert to std::uint64_t).
+  template <typename T>
+  Var add_signal(const std::string& name, Signal<T>& signal,
+                 unsigned width = 8 * sizeof(T)) {
+    const Var var = add_wire(name, width);
+    change(var, static_cast<std::uint64_t>(signal.read()));
+    signal.changed().on_trigger([this, var, &signal] {
+      change(var, static_cast<std::uint64_t>(signal.read()));
+    });
+    return var;
+  }
+
+  /// Records a value change at the current simulation time.
+  void change(Var var, std::uint64_t value);
+  /// Records an event pulse at the current simulation time.
+  void strobe(Var var);
+
+  /// Flushes the header (if still pending) and the stream.
+  void finish();
+
+  std::size_t variable_count() const { return vars_.size(); }
+
+ private:
+  struct VarInfo {
+    std::string name;
+    std::string id;        // short VCD identifier
+    unsigned width = 1;
+    bool is_event = false;
+    std::uint64_t last_value = 0;
+    bool has_value = false;
+  };
+
+  static std::string make_id(std::size_t index);
+  void emit_header();
+  void advance_time();
+
+  std::ostream& out_;
+  Scheduler& sched_;
+  std::vector<VarInfo> vars_;
+  bool header_done_ = false;
+  bool time_started_ = false;
+  std::uint64_t current_ps_ = 0;
+};
+
+}  // namespace loom::sim

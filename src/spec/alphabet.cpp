@@ -1,0 +1,32 @@
+#include "spec/alphabet.hpp"
+
+namespace loom::spec {
+
+Name Alphabet::declare(std::string_view name, Direction dir) {
+  const Name id = interner_.intern(name);
+  if (id >= directions_.size()) directions_.resize(id + 1, Direction::Unknown);
+  // A direction given explicitly wins over Unknown; conflicting explicit
+  // directions keep the first declaration (checked by the WF pass).
+  if (directions_[id] == Direction::Unknown) directions_[id] = dir;
+  return id;
+}
+
+NameSet Alphabet::set_of(std::initializer_list<std::string_view> names) {
+  NameSet set;
+  for (auto n : names) set.set(name(n));
+  return set;
+}
+
+std::string Alphabet::render(const NameSet& set) const {
+  std::string out = "{";
+  bool sep = false;
+  set.for_each([&](std::size_t id) {
+    if (sep) out += ", ";
+    out += text(static_cast<Name>(id));
+    sep = true;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace loom::spec

@@ -1,0 +1,63 @@
+// Interface alphabet (I, O) of a component under verification.
+//
+// The paper writes properties over the input/output interface of a
+// component: inputs are actions of the environment affecting the component
+// (e.g. set_imgAddr, start), outputs are activities of the component
+// affecting others (e.g. read_img, set_irq).  The Alphabet interns names,
+// records their direction and hands out dense ids used in Bitset name sets.
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bitset.hpp"
+#include "support/interner.hpp"
+
+namespace loom::spec {
+
+using Name = support::Interner::Id;
+using NameSet = support::Bitset;
+
+constexpr Name kInvalidName = support::Interner::kInvalid;
+
+enum class Direction { Input, Output, Unknown };
+
+class Alphabet {
+ public:
+  /// Declares (or re-declares) an input name.
+  Name input(std::string_view name) { return declare(name, Direction::Input); }
+  /// Declares (or re-declares) an output name.
+  Name output(std::string_view name) {
+    return declare(name, Direction::Output);
+  }
+  /// Interns a name without fixing its direction (parser default).
+  Name name(std::string_view name) {
+    return declare(name, Direction::Unknown);
+  }
+
+  std::optional<Name> lookup(std::string_view name) const {
+    return interner_.lookup(name);
+  }
+
+  const std::string& text(Name id) const { return interner_.name(id); }
+  Direction direction(Name id) const { return directions_.at(id); }
+
+  std::size_t size() const { return interner_.size(); }
+
+  /// Builds a NameSet from a list of (new or existing) names.
+  NameSet set_of(std::initializer_list<std::string_view> names);
+
+  /// Renders "{a, b, c}" for diagnostics.
+  std::string render(const NameSet& set) const;
+
+ private:
+  Name declare(std::string_view name, Direction dir);
+
+  support::Interner interner_;
+  std::vector<Direction> directions_;
+};
+
+}  // namespace loom::spec

@@ -1,0 +1,107 @@
+// Abstract syntax of loose-ordering properties (paper Fig. 3).
+//
+//   range            R = n[u,v]
+//   fragment         F = ({R1..Rn}, #)         # in {∧ (Conj), ∨ (Disj)}
+//   loose-ordering   L = F1 < ... < Fq
+//   antecedent req.  A = (P << i, b)           "i only after P"
+//   timed impl.      T = (P => Q, t)           "P observed -> Q within t"
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "spec/alphabet.hpp"
+
+namespace loom::spec {
+
+/// R = n[u,v]: a block of k consecutive occurrences of n, k in [lo, hi].
+struct Range {
+  Name name = kInvalidName;
+  std::uint32_t lo = 1;
+  std::uint32_t hi = 1;
+
+  bool trivial() const { return lo == 1 && hi == 1; }
+  bool operator==(const Range&) const = default;
+};
+
+enum class Join : std::uint8_t {
+  Conj,  // ∧ : every range block must appear (any order)
+  Disj,  // ∨ : at least one range block must appear
+};
+
+struct Fragment {
+  std::vector<Range> ranges;
+  Join join = Join::Conj;
+
+  /// Union of the range names.
+  NameSet alphabet() const;
+  bool operator==(const Fragment&) const = default;
+};
+
+struct LooseOrdering {
+  std::vector<Fragment> fragments;
+
+  NameSet alphabet() const;
+  bool operator==(const LooseOrdering&) const = default;
+};
+
+/// A = (P << i, b): i may occur only after P has been observed; with
+/// `repeated`, every i needs its own P since the previous i.
+struct Antecedent {
+  LooseOrdering pattern;
+  Name trigger = kInvalidName;
+  bool repeated = false;
+
+  NameSet alphabet() const;  // α(P) ∪ {i}
+  bool operator==(const Antecedent&) const = default;
+};
+
+/// T = (P => Q, t): whenever P is observed, Q must occur and finish within
+/// t time units of the end of P (implicitly repeated).
+struct TimedImplication {
+  LooseOrdering antecedent;
+  LooseOrdering consequent;
+  sim::Time bound;
+
+  NameSet alphabet() const;  // α(P) ∪ α(Q)
+  bool operator==(const TimedImplication&) const = default;
+};
+
+class Property {
+ public:
+  Property(Antecedent a) : value_(std::move(a)) {}          // NOLINT(implicit)
+  Property(TimedImplication t) : value_(std::move(t)) {}    // NOLINT(implicit)
+
+  bool is_antecedent() const {
+    return std::holds_alternative<Antecedent>(value_);
+  }
+  bool is_timed() const {
+    return std::holds_alternative<TimedImplication>(value_);
+  }
+
+  const Antecedent& antecedent() const { return std::get<Antecedent>(value_); }
+  const TimedImplication& timed() const {
+    return std::get<TimedImplication>(value_);
+  }
+
+  NameSet alphabet() const;
+
+  bool operator==(const Property&) const = default;
+
+ private:
+  std::variant<Antecedent, TimedImplication> value_;
+};
+
+// --- pretty-printing (concrete syntax, re-parseable) ---
+
+std::string to_string(const Range& r, const Alphabet& ab);
+std::string to_string(const Fragment& f, const Alphabet& ab);
+std::string to_string(const LooseOrdering& l, const Alphabet& ab);
+std::string to_string(const Antecedent& a, const Alphabet& ab);
+std::string to_string(const TimedImplication& t, const Alphabet& ab);
+std::string to_string(const Property& p, const Alphabet& ab);
+
+}  // namespace loom::spec

@@ -1,0 +1,92 @@
+#include "spec/attributes.hpp"
+
+#include <algorithm>
+
+namespace loom::spec {
+
+OrderingPlan plan_ordering(const LooseOrdering& l, NameSet terminal,
+                           bool cyclic, std::size_t p_boundary) {
+  OrderingPlan plan;
+  plan.terminal = terminal;
+  plan.cyclic = cyclic;
+  const std::size_t q = l.fragments.size();
+  plan.p_boundary = p_boundary == 0 ? q : p_boundary;
+
+  std::vector<NameSet> alpha(q);
+  for (std::size_t k = 0; k < q; ++k) alpha[k] = l.fragments[k].alphabet();
+
+  // prefix[k] = union of alpha[j], j < k
+  std::vector<NameSet> prefix(q);
+  for (std::size_t k = 1; k < q; ++k) prefix[k] = prefix[k - 1] | alpha[k - 1];
+  // suffix_beyond[k] = union of alpha[j], j >= k+2, plus the terminal when
+  // the terminal is not already this fragment's stopping set.
+  std::vector<NameSet> beyond(q);
+  {
+    NameSet acc;  // union of alpha[j] for j > current+1
+    for (std::size_t k = q; k-- > 0;) {
+      beyond[k] = acc;
+      if (k + 1 < q) beyond[k] |= terminal;
+      if (k + 1 < q) acc |= alpha[k + 1];
+    }
+  }
+
+  for (std::size_t k = 0; k < q; ++k) {
+    const Fragment& f = l.fragments[k];
+    FragmentPlan fp;
+    fp.join = f.join;
+    fp.alphabet = alpha[k];
+    if (k + 1 < q) {
+      fp.accept = alpha[k + 1];
+    } else if (cyclic) {
+      fp.accept = alpha[0];
+    } else {
+      fp.accept = terminal;
+    }
+    for (const Range& r : f.ranges) {
+      RangePlan rp;
+      rp.name = r.name;
+      rp.lo = r.lo;
+      rp.hi = r.hi;
+      rp.parent_join = f.join;
+      rp.before = prefix[k];
+      rp.siblings = alpha[k];
+      rp.siblings.reset(r.name);
+      rp.accept = fp.accept;
+      rp.after = beyond[k];
+      // In a cyclic chain the restart names (alpha[0]) double as the accept
+      // set of the final fragment; they must not stay in B of fragment 0
+      // recognizers or in Af anywhere.  plan.before/after exclude nothing
+      // for acyclic chains.
+      if (cyclic) rp.after.subtract(fp.accept);
+      fp.ranges.push_back(std::move(rp));
+    }
+    for (const Range& r : f.ranges) plan.max_hi = std::max(plan.max_hi, r.hi);
+    plan.fragments.push_back(std::move(fp));
+  }
+
+  if (cyclic && !plan.fragments.empty()) {
+    plan.fragments[plan.p_boundary - 1].track_min_time = true;
+    plan.fragments.back().track_min_time = true;
+  }
+
+  for (const auto& a : alpha) plan.chain_alphabet |= a;
+  plan.alphabet = plan.chain_alphabet | terminal;
+  return plan;
+}
+
+OrderingPlan plan_antecedent(const Antecedent& a) {
+  NameSet terminal;
+  terminal.set(a.trigger);
+  return plan_ordering(a.pattern, terminal);
+}
+
+OrderingPlan plan_timed(const TimedImplication& t) {
+  LooseOrdering chain;
+  chain.fragments = t.antecedent.fragments;
+  chain.fragments.insert(chain.fragments.end(), t.consequent.fragments.begin(),
+                         t.consequent.fragments.end());
+  return plan_ordering(chain, NameSet{}, /*cyclic=*/true,
+                       /*p_boundary=*/t.antecedent.fragments.size());
+}
+
+}  // namespace loom::spec

@@ -1,0 +1,72 @@
+// Recognition contexts: the attribute computation of the paper's Fig. 4.
+//
+// Every range recognizer works in a context (B, C, Ac, Af, s) derived from
+// where the range sits in the syntax tree of the property:
+//   B  (before)   names of earlier fragments   -> forbidden (already done)
+//   C  (siblings) other names of this fragment -> allowed, switch block
+//   Ac (accept)   names stopping the fragment  -> ok/nok if minimum reached
+//   Af (after)    names beyond the next fragment (incl. the trigger for
+//                 non-final fragments)         -> forbidden
+//   s  (join)     ∧ or ∨ semantics inherited from the parent fragment
+//
+// plan_antecedent / plan_timed flatten a property into an OrderingPlan the
+// monitors execute directly:
+//   - antecedent (P << i, b): chain = fragments of P, terminal = {i};
+//   - timed (P => Q, t): chain = fragments of P ++ fragments of Q, no
+//     terminal; the chain restarts at α(F1) (reset point at the end of Q),
+//     and the boundary between P and Q is recorded for the timing rule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "spec/ast.hpp"
+
+namespace loom::spec {
+
+struct RangePlan {
+  Name name = kInvalidName;
+  std::uint32_t lo = 1;
+  std::uint32_t hi = 1;
+  Join parent_join = Join::Conj;  // the s attribute
+  NameSet before;                 // B
+  NameSet siblings;               // C
+  NameSet accept;                 // Ac
+  NameSet after;                  // Af
+};
+
+struct FragmentPlan {
+  Join join = Join::Conj;
+  std::vector<RangePlan> ranges;
+  NameSet alphabet;  // names of this fragment
+  NameSet accept;    // the shared Ac of its ranges
+  /// True for the fragments whose min-complete instant a timed monitor
+  /// reads (end of P, end of Q): these recognizers carry a 64-bit
+  /// timestamp register — the paper's sc_time start/stop variables.
+  bool track_min_time = false;
+};
+
+struct OrderingPlan {
+  std::vector<FragmentPlan> fragments;
+  NameSet chain_alphabet;   // union of fragment alphabets (without terminal)
+  NameSet alphabet;         // chain_alphabet plus the terminal names
+  NameSet terminal;         // {i} for antecedents; empty for timed chains
+  bool cyclic = false;      // timed chains restart at fragment 0
+  std::size_t p_boundary = 0;  // #fragments belonging to P (timed); else q
+  /// Largest range upper bound; determines counter widths.
+  std::uint32_t max_hi = 1;
+};
+
+/// Flattens P with stopping set {i}.
+OrderingPlan plan_antecedent(const Antecedent& a);
+
+/// Flattens the concatenation P ++ Q with wrap-around restart.
+OrderingPlan plan_timed(const TimedImplication& t);
+
+/// General form: chain with an explicit terminal stopping set (may be empty
+/// together with `cyclic` for wrap-around chains).
+OrderingPlan plan_ordering(const LooseOrdering& l, NameSet terminal,
+                           bool cyclic = false, std::size_t p_boundary = 0);
+
+}  // namespace loom::spec

@@ -1,0 +1,23 @@
+// Graphviz exporters: visualize a property's attributed syntax tree (the
+// paper's Fig. 4) and a range recognizer instance (the paper's Fig. 5)
+// with its concrete recognition context.
+//
+//   dot -Tsvg property.dot -o property.svg
+#pragma once
+
+#include <string>
+
+#include "spec/ast.hpp"
+#include "spec/attributes.hpp"
+
+namespace loom::spec {
+
+/// The syntax tree of a property, each range node annotated with its
+/// inherited attributes (s, B, C, Ac, Af) — the paper's Fig. 4.
+std::string to_dot(const Property& p, const Alphabet& ab);
+
+/// One elementary range recognizer (the paper's Fig. 5 automaton) with the
+/// concrete sets of `plan` substituted into the transition labels.
+std::string range_automaton_dot(const RangePlan& plan, const Alphabet& ab);
+
+}  // namespace loom::spec

@@ -1,0 +1,125 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+
+namespace loom::spec {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::Nat: return "number";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Less: return "'<'";
+    case TokenKind::LessLess: return "'<<'";
+    case TokenKind::Implies: return "'=>'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::End: return "end of input";
+    case TokenKind::Invalid: return "invalid token";
+  }
+  return "?";
+}
+
+std::vector<Token> tokenize(std::string_view source,
+                            support::DiagnosticSink& sink) {
+  std::vector<Token> tokens;
+  support::SourcePos pos;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++pos.line;
+        pos.column = 1;
+      } else {
+        ++pos.column;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](TokenKind kind, std::size_t start, std::size_t len,
+                  std::uint64_t value = 0) {
+    tokens.push_back({kind, source.substr(start, len), value, pos});
+    advance(len);
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t len = 1;
+      while (i + len < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i + len])) ||
+              source[i + len] == '_')) {
+        ++len;
+      }
+      push(TokenKind::Ident, i, len);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t len = 0;
+      std::uint64_t value = 0;
+      while (i + len < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i + len]))) {
+        value = value * 10 + static_cast<std::uint64_t>(source[i + len] - '0');
+        ++len;
+      }
+      // Multiplier suffix used by the paper ("60K").
+      if (i + len < source.size() &&
+          (source[i + len] == 'k' || source[i + len] == 'K')) {
+        value *= 1000;
+        ++len;
+      } else if (i + len < source.size() && source[i + len] == 'M') {
+        value *= 1000000;
+        ++len;
+      }
+      push(TokenKind::Nat, i, len, value);
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::LParen, i, 1); continue;
+      case ')': push(TokenKind::RParen, i, 1); continue;
+      case '{': push(TokenKind::LBrace, i, 1); continue;
+      case '}': push(TokenKind::RBrace, i, 1); continue;
+      case '[': push(TokenKind::LBracket, i, 1); continue;
+      case ']': push(TokenKind::RBracket, i, 1); continue;
+      case ',': push(TokenKind::Comma, i, 1); continue;
+      case '&': push(TokenKind::Amp, i, 1); continue;
+      case '|': push(TokenKind::Pipe, i, 1); continue;
+      case '<':
+        if (i + 1 < source.size() && source[i + 1] == '<') {
+          push(TokenKind::LessLess, i, 2);
+        } else {
+          push(TokenKind::Less, i, 1);
+        }
+        continue;
+      case '=':
+        if (i + 1 < source.size() && source[i + 1] == '>') {
+          push(TokenKind::Implies, i, 2);
+          continue;
+        }
+        [[fallthrough]];
+      default:
+        sink.error(pos, std::string("unexpected character '") + c + "'");
+        push(TokenKind::Invalid, i, 1);
+        continue;
+    }
+  }
+  tokens.push_back({TokenKind::End, source.substr(source.size(), 0), 0, pos});
+  return tokens;
+}
+
+}  // namespace loom::spec

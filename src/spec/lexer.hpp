@@ -1,0 +1,49 @@
+// Lexer for the concrete loose-ordering property syntax.
+//
+//   (({set_imgAddr, set_glAddr, set_glSize}, &) << start, false)
+//   (start => read_img[100,60000] < set_irq, 2ms)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace loom::spec {
+
+enum class TokenKind {
+  Ident,     // [A-Za-z_][A-Za-z0-9_]*
+  Nat,       // decimal natural, with optional k/K/M suffix (60K = 60000)
+  LParen,    // (
+  RParen,    // )
+  LBrace,    // {
+  RBrace,    // }
+  LBracket,  // [
+  RBracket,  // ]
+  Comma,     // ,
+  Less,      // <
+  LessLess,  // <<
+  Implies,   // =>
+  Amp,       // &
+  Pipe,      // |
+  End,       // end of input
+  Invalid,
+};
+
+const char* to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::Invalid;
+  std::string_view text;
+  std::uint64_t value = 0;  // for Nat
+  support::SourcePos pos;
+};
+
+/// Tokenizes `source`; reports bad characters to `sink` and keeps going.
+/// The final token is always End.
+std::vector<Token> tokenize(std::string_view source,
+                            support::DiagnosticSink& sink);
+
+}  // namespace loom::spec

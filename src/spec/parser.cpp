@@ -1,0 +1,256 @@
+#include "spec/parser.hpp"
+
+#include <limits>
+
+#include "spec/lexer.hpp"
+
+namespace loom::spec {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Alphabet& ab,
+         support::DiagnosticSink& sink)
+      : tokens_(std::move(tokens)), ab_(ab), sink_(sink) {}
+
+  std::optional<Property> property() {
+    if (!expect(TokenKind::LParen)) return std::nullopt;
+    auto lhs = ordering();
+    if (!lhs) return std::nullopt;
+
+    if (at(TokenKind::LessLess)) {
+      next();
+      const Token name_tok = peek();
+      if (!at(TokenKind::Ident)) {
+        error("expected trigger name after '<<'");
+        return std::nullopt;
+      }
+      next();
+      if (!expect(TokenKind::Comma)) return std::nullopt;
+      auto rep = boolean();
+      if (!rep) return std::nullopt;
+      if (!expect(TokenKind::RParen)) return std::nullopt;
+      if (!expect(TokenKind::End)) return std::nullopt;
+      Antecedent a;
+      a.pattern = std::move(*lhs);
+      a.trigger = ab_.name(name_tok.text);
+      a.repeated = *rep;
+      return Property(std::move(a));
+    }
+    if (at(TokenKind::Implies)) {
+      next();
+      auto rhs = ordering();
+      if (!rhs) return std::nullopt;
+      if (!expect(TokenKind::Comma)) return std::nullopt;
+      auto bound = duration();
+      if (!bound) return std::nullopt;
+      if (!expect(TokenKind::RParen)) return std::nullopt;
+      if (!expect(TokenKind::End)) return std::nullopt;
+      TimedImplication t;
+      t.antecedent = std::move(*lhs);
+      t.consequent = std::move(*rhs);
+      t.bound = *bound;
+      return Property(std::move(t));
+    }
+    error("expected '<<' or '=>' after the loose-ordering");
+    return std::nullopt;
+  }
+
+  std::optional<LooseOrdering> top_ordering() {
+    auto l = ordering();
+    if (!l) return std::nullopt;
+    if (!expect(TokenKind::End)) return std::nullopt;
+    return l;
+  }
+
+ private:
+  std::optional<LooseOrdering> ordering() {
+    LooseOrdering l;
+    auto f = fragment();
+    if (!f) return std::nullopt;
+    l.fragments.push_back(std::move(*f));
+    while (at(TokenKind::Less)) {
+      next();
+      auto g = fragment();
+      if (!g) return std::nullopt;
+      l.fragments.push_back(std::move(*g));
+    }
+    return l;
+  }
+
+  std::optional<Fragment> fragment() {
+    // '(' '{' ... '}' ',' join ')'
+    if (at(TokenKind::LParen)) {
+      next();
+      auto f = brace_fragment(/*require_join=*/true);
+      if (!f) return std::nullopt;
+      if (!expect(TokenKind::RParen)) return std::nullopt;
+      return f;
+    }
+    if (at(TokenKind::LBrace)) {
+      return brace_fragment(/*require_join=*/false);
+    }
+    // single range
+    auto r = range();
+    if (!r) return std::nullopt;
+    Fragment f;
+    f.join = Join::Conj;
+    f.ranges.push_back(*r);
+    return f;
+  }
+
+  /// Parses '{' range (',' range)* '}' followed by a join: with
+  /// `require_join`, as ", &" / ", |" (paper style); otherwise an optional
+  /// trailing '&' or '|'.
+  std::optional<Fragment> brace_fragment(bool require_join) {
+    if (!expect(TokenKind::LBrace)) return std::nullopt;
+    Fragment f;
+    auto r = range();
+    if (!r) return std::nullopt;
+    f.ranges.push_back(*r);
+    while (at(TokenKind::Comma)) {
+      next();
+      auto r2 = range();
+      if (!r2) return std::nullopt;
+      f.ranges.push_back(*r2);
+    }
+    if (!expect(TokenKind::RBrace)) return std::nullopt;
+    if (require_join) {
+      if (!expect(TokenKind::Comma)) return std::nullopt;
+      if (at(TokenKind::Amp)) {
+        f.join = Join::Conj;
+      } else if (at(TokenKind::Pipe)) {
+        f.join = Join::Disj;
+      } else {
+        error("expected '&' or '|' as the fragment join");
+        return std::nullopt;
+      }
+      next();
+    } else {
+      f.join = Join::Conj;
+      if (at(TokenKind::Amp)) {
+        next();
+      } else if (at(TokenKind::Pipe)) {
+        f.join = Join::Disj;
+        next();
+      }
+    }
+    return f;
+  }
+
+  std::optional<Range> range() {
+    if (!at(TokenKind::Ident)) {
+      error("expected an interface name");
+      return std::nullopt;
+    }
+    Range r;
+    r.name = ab_.name(peek().text);
+    next();
+    if (at(TokenKind::LBracket)) {
+      next();
+      auto lo = nat();
+      if (!lo) return std::nullopt;
+      if (!expect(TokenKind::Comma)) return std::nullopt;
+      auto hi = nat();
+      if (!hi) return std::nullopt;
+      if (!expect(TokenKind::RBracket)) return std::nullopt;
+      if (*lo > std::numeric_limits<std::uint32_t>::max() ||
+          *hi > std::numeric_limits<std::uint32_t>::max()) {
+        error("range bound too large");
+        return std::nullopt;
+      }
+      r.lo = static_cast<std::uint32_t>(*lo);
+      r.hi = static_cast<std::uint32_t>(*hi);
+    }
+    return r;
+  }
+
+  std::optional<bool> boolean() {
+    if (at(TokenKind::Ident)) {
+      if (peek().text == "true") {
+        next();
+        return true;
+      }
+      if (peek().text == "false") {
+        next();
+        return false;
+      }
+    }
+    error("expected 'true' or 'false'");
+    return std::nullopt;
+  }
+
+  std::optional<sim::Time> duration() {
+    auto v = nat();
+    if (!v) return std::nullopt;
+    if (!at(TokenKind::Ident)) {
+      error("expected a time unit (ps, ns, us, ms, s)");
+      return std::nullopt;
+    }
+    const std::string_view unit = peek().text;
+    next();
+    if (unit == "ps") return sim::Time::ps(*v);
+    if (unit == "ns") return sim::Time::ns(*v);
+    if (unit == "us") return sim::Time::us(*v);
+    if (unit == "ms") return sim::Time::ms(*v);
+    if (unit == "s" || unit == "sec") return sim::Time::sec(*v);
+    error("unknown time unit '" + std::string(unit) + "'");
+    return std::nullopt;
+  }
+
+  std::optional<std::uint64_t> nat() {
+    if (!at(TokenKind::Nat)) {
+      error("expected a number");
+      return std::nullopt;
+    }
+    const std::uint64_t v = peek().value;
+    next();
+    return v;
+  }
+
+  const Token& peek() const { return tokens_[index_]; }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  void next() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  bool expect(TokenKind kind) {
+    if (at(kind)) {
+      if (kind != TokenKind::End) next();
+      return true;
+    }
+    error(std::string("expected ") + to_string(kind) + ", found " +
+          to_string(peek().kind));
+    return false;
+  }
+
+  void error(std::string message) {
+    sink_.error(peek().pos, std::move(message));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+  Alphabet& ab_;
+  support::DiagnosticSink& sink_;
+};
+
+}  // namespace
+
+std::optional<Property> parse_property(std::string_view source, Alphabet& ab,
+                                       support::DiagnosticSink& sink) {
+  auto tokens = tokenize(source, sink);
+  if (!sink.ok()) return std::nullopt;
+  Parser parser(std::move(tokens), ab, sink);
+  return parser.property();
+}
+
+std::optional<LooseOrdering> parse_ordering(std::string_view source,
+                                            Alphabet& ab,
+                                            support::DiagnosticSink& sink) {
+  auto tokens = tokenize(source, sink);
+  if (!sink.ok()) return std::nullopt;
+  Parser parser(std::move(tokens), ab, sink);
+  return parser.top_ordering();
+}
+
+}  // namespace loom::spec

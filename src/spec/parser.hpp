@@ -1,0 +1,35 @@
+// Recursive-descent parser for loose-ordering properties.
+//
+// Grammar (paper Fig. 3, concretized; see DESIGN.md §5):
+//
+//   property := '(' ordering '<<' name ',' bool ')'
+//             | '(' ordering '=>' ordering ',' duration ')'
+//   ordering := fragment ('<' fragment)*
+//   fragment := range
+//             | '(' '{' range (',' range)* '}' ',' ('&'|'|') ')'
+//             | '{' range (',' range)* '}' ('&'|'|')?        (shorthand, & default)
+//   range    := name ('[' nat ',' nat ']')?                  (default [1,1])
+//   duration := nat ('ps'|'ns'|'us'|'ms'|'s')
+//
+// Parsed names are interned into the supplied Alphabet with Unknown
+// direction; platform code typically pre-declares directions.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "spec/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace loom::spec {
+
+/// Parses a full property; returns nullopt (with diagnostics) on error.
+std::optional<Property> parse_property(std::string_view source, Alphabet& ab,
+                                       support::DiagnosticSink& sink);
+
+/// Parses a bare loose-ordering (used by tests and the stimuli generator).
+std::optional<LooseOrdering> parse_ordering(std::string_view source,
+                                            Alphabet& ab,
+                                            support::DiagnosticSink& sink);
+
+}  // namespace loom::spec

@@ -1,0 +1,264 @@
+#include "spec/reference.hpp"
+
+#include <cassert>
+
+#include "spec/attributes.hpp"
+
+namespace loom::spec {
+namespace {
+
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/// Walks one "round" of a flattened chain (P for antecedents, P++Q for
+/// timed implications) using block-greedy matching over the projected trace.
+class RoundWalker {
+ public:
+  explicit RoundWalker(const OrderingPlan& plan) : plan_(plan) {
+    counts_.resize(plan.alphabet.capacity(), 0);
+    reset();
+  }
+
+  void reset() {
+    k_ = 0;
+    current_ = kInvalidName;
+    closed_.clear();
+    consumed_ = false;
+    frag_min_complete_ = false;
+    std::fill(counts_.begin(), counts_.end(), 0);
+  }
+
+  enum class Step { Consumed, RoundCompleted, Error };
+
+  /// Processes one projected event.  On Error, `reason()` explains why.
+  Step step(Name name, sim::Time time) {
+    const FragmentPlan& f = plan_.fragments[k_];
+    if (f.alphabet.test(name)) {
+      consumed_ = true;
+      const RangePlan& r = range_of(f, name);
+      if (name == current_) {
+        if (++counts_[name] > r.hi) {
+          return fail("more than v=" + std::to_string(r.hi) +
+                      " consecutive occurrences of the range name");
+        }
+      } else {
+        if (current_ != kInvalidName) {
+          const RangePlan& cur = range_of(f, current_);
+          if (counts_[current_] < cur.lo) {
+            return fail("block ended after " +
+                        std::to_string(counts_[current_]) +
+                        " occurrences, below u=" + std::to_string(cur.lo));
+          }
+          closed_.set(current_);
+        }
+        if (closed_.test(name)) {
+          return fail("range block reopened after it ended");
+        }
+        current_ = name;
+        counts_[name] = 1;
+      }
+      if (!frag_min_complete_ && fragment_min_complete(f)) {
+        frag_min_complete_ = true;
+        frag_min_time_ = time;
+      }
+      return Step::Consumed;
+    }
+    if (f.accept.test(name)) {
+      if (current_ != kInvalidName) {
+        const RangePlan& cur = range_of(f, current_);
+        if (counts_[current_] < cur.lo) {
+          return fail("fragment stopped while a block had only " +
+                      std::to_string(counts_[current_]) +
+                      " occurrences, below u=" + std::to_string(cur.lo));
+        }
+        closed_.set(current_);
+      }
+      const std::size_t done = closed_.count();
+      const bool complete = f.join == Join::Conj
+                                ? done == f.ranges.size()
+                                : done >= 1;
+      if (!complete) {
+        return fail(f.join == Join::Conj
+                        ? "conjunctive fragment stopped before all its "
+                          "ranges were observed"
+                        : "disjunctive fragment stopped before any of its "
+                          "ranges was observed");
+      }
+      ++k_;
+      current_ = kInvalidName;
+      closed_.clear();
+      frag_min_complete_ = false;
+      for (const auto& rp : f.ranges) counts_[rp.name] = 0;
+      if (k_ == plan_.fragments.size()) return Step::RoundCompleted;
+      return step(name, time);  // same event opens the next fragment
+    }
+    // Out-of-place name: classify for the diagnostic.
+    if (plan_.terminal.test(name)) {
+      return fail("trigger observed before the pattern was recognized");
+    }
+    for (std::size_t j = 0; j < plan_.fragments.size(); ++j) {
+      if (plan_.fragments[j].alphabet.test(name)) {
+        return fail(j < k_ ? "name belongs to an already-completed fragment"
+                           : "name belongs to a later fragment");
+      }
+    }
+    return fail("name not in the property alphabet");  // unreachable
+  }
+
+  std::size_t fragment_index() const { return k_; }
+  bool consumed_anything() const { return consumed_; }
+  bool fragment_min_complete_flag() const { return frag_min_complete_; }
+  sim::Time fragment_min_time() const { return frag_min_time_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  static const RangePlan& range_of(const FragmentPlan& f, Name name) {
+    for (const auto& r : f.ranges) {
+      if (r.name == name) return r;
+    }
+    assert(false && "name not in fragment");
+    return f.ranges.front();
+  }
+
+  bool fragment_min_complete(const FragmentPlan& f) const {
+    if (f.join == Join::Conj) {
+      for (const auto& r : f.ranges) {
+        if (counts_[r.name] < r.lo) return false;
+      }
+      return true;
+    }
+    for (const auto& r : f.ranges) {
+      if (counts_[r.name] >= r.lo) return true;
+    }
+    return false;
+  }
+
+  Step fail(std::string why) {
+    reason_ = std::move(why);
+    return Step::Error;
+  }
+
+  const OrderingPlan& plan_;
+  std::size_t k_ = 0;
+  Name current_ = kInvalidName;
+  NameSet closed_;
+  std::vector<std::uint32_t> counts_;
+  bool consumed_ = false;
+  bool frag_min_complete_ = false;
+  sim::Time frag_min_time_;
+  std::string reason_;
+};
+
+}  // namespace
+
+const char* to_string(RefVerdict v) {
+  switch (v) {
+    case RefVerdict::Accepted: return "accepted";
+    case RefVerdict::Pending: return "pending";
+    case RefVerdict::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+RefResult reference_check(const Antecedent& a, const Trace& trace) {
+  const OrderingPlan plan = plan_antecedent(a);
+  RoundWalker walker(plan);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& ev = trace[i];
+    if (!plan.alphabet.test(ev.name)) continue;  // projection
+    switch (walker.step(ev.name, ev.time)) {
+      case RoundWalker::Step::Consumed:
+        break;
+      case RoundWalker::Step::RoundCompleted:
+        if (!a.repeated) return {RefVerdict::Accepted, kNoIndex, ""};
+        walker.reset();
+        break;
+      case RoundWalker::Step::Error:
+        return {RefVerdict::Rejected, i, walker.reason()};
+    }
+  }
+  return {walker.consumed_anything() ? RefVerdict::Pending
+                                     : RefVerdict::Accepted,
+          kNoIndex, ""};
+}
+
+RefResult reference_check(const TimedImplication& t, const Trace& trace,
+                          sim::Time end_time) {
+  const OrderingPlan plan = plan_timed(t);
+  const std::size_t p_last = plan.p_boundary - 1;
+  const std::size_t q_last = plan.fragments.size() - 1;
+  RoundWalker walker(plan);
+
+  bool armed = false;    // P min-complete, obligation running
+  bool q_done = false;   // Q min-complete in this round
+  sim::Time t_start;
+
+  auto update_timing = [&](sim::Time now, std::size_t index,
+                           RefResult* failure) {
+    if (!armed && (walker.fragment_index() > p_last ||
+                   (walker.fragment_index() == p_last &&
+                    walker.fragment_min_complete_flag()))) {
+      armed = true;
+      t_start = walker.fragment_index() == p_last ? walker.fragment_min_time()
+                                                  : now;
+    }
+    if (armed && !q_done && walker.fragment_index() == q_last &&
+        walker.fragment_min_complete_flag()) {
+      q_done = true;
+      const sim::Time t_stop = walker.fragment_min_time();
+      if (t_stop - t_start > t.bound) {
+        *failure = {RefVerdict::Rejected, index,
+                    "consequent finished after the deadline"};
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& ev = trace[i];
+    if (!plan.alphabet.test(ev.name)) continue;
+    if (armed && !q_done && ev.time > t_start + t.bound) {
+      return {RefVerdict::Rejected, i,
+              "deadline elapsed before the consequent finished"};
+    }
+    switch (walker.step(ev.name, ev.time)) {
+      case RoundWalker::Step::Consumed: {
+        RefResult failure;
+        update_timing(ev.time, i, &failure);
+        if (failure.rejected()) return failure;
+        break;
+      }
+      case RoundWalker::Step::RoundCompleted: {
+        // The completing event restarts the chain at fragment 0.
+        armed = false;
+        q_done = false;
+        walker.reset();
+        if (walker.step(ev.name, ev.time) == RoundWalker::Step::Error) {
+          return {RefVerdict::Rejected, i, walker.reason()};
+        }
+        RefResult failure;
+        update_timing(ev.time, i, &failure);
+        if (failure.rejected()) return failure;
+        break;
+      }
+      case RoundWalker::Step::Error:
+        return {RefVerdict::Rejected, i, walker.reason()};
+    }
+  }
+  if (armed && !q_done && end_time > t_start + t.bound) {
+    return {RefVerdict::Rejected, trace.empty() ? kNoIndex : trace.size() - 1,
+            "observation ended after the deadline with the consequent "
+            "unfinished"};
+  }
+  if (!walker.consumed_anything()) return {RefVerdict::Accepted, kNoIndex, ""};
+  // Mid-round at end of trace: if the final fragment already reached its
+  // minimum within the deadline, the obligation is met (earliest-match).
+  if (q_done) return {RefVerdict::Accepted, kNoIndex, ""};
+  return {RefVerdict::Pending, kNoIndex, ""};
+}
+
+RefResult reference_check(const Property& p, const Trace& trace,
+                          sim::Time end_time) {
+  if (p.is_antecedent()) return reference_check(p.antecedent(), trace);
+  return reference_check(p.timed(), trace, end_time);
+}
+
+}  // namespace loom::spec

@@ -1,0 +1,57 @@
+// Declarative reference semantics (test oracle).
+//
+// An independent, offline implementation of Definitions 1-5 used to
+// cross-check the online monitors: it walks a complete trace with the
+// block-greedy interpretation (names of a property are pairwise disjoint,
+// so matching is deterministic; see DESIGN.md §3).  It is deliberately
+// written in a different style from the recognizer automata: block
+// accounting over the projected trace instead of per-range state machines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "spec/ast.hpp"
+
+namespace loom::spec {
+
+struct TimedEvent {
+  Name name = kInvalidName;
+  sim::Time time;
+
+  bool operator==(const TimedEvent&) const = default;
+};
+
+using Trace = std::vector<TimedEvent>;
+
+enum class RefVerdict {
+  Accepted,  // no violation, no recognition in progress
+  Pending,   // no violation, recognition in progress at end of trace
+  Rejected,  // violation
+};
+
+const char* to_string(RefVerdict v);
+
+struct RefResult {
+  RefVerdict verdict = RefVerdict::Accepted;
+  /// Index (into the full trace) of the offending event when Rejected.
+  std::size_t error_index = static_cast<std::size_t>(-1);
+  std::string reason;
+
+  bool rejected() const { return verdict == RefVerdict::Rejected; }
+};
+
+/// Checks an antecedent requirement against a finite trace.
+RefResult reference_check(const Antecedent& a, const Trace& trace);
+
+/// Checks a timed implication constraint; `end_time` is the simulation time
+/// at which observation stopped (deadline checks run against it).
+RefResult reference_check(const TimedImplication& t, const Trace& trace,
+                          sim::Time end_time);
+
+RefResult reference_check(const Property& p, const Trace& trace,
+                          sim::Time end_time);
+
+}  // namespace loom::spec

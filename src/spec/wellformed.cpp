@@ -1,0 +1,101 @@
+#include "spec/wellformed.hpp"
+
+namespace loom::spec {
+namespace {
+
+const support::SourcePos kNoPos{};
+
+}  // namespace
+
+bool check_wellformed(const LooseOrdering& l, const Alphabet& ab,
+                      support::DiagnosticSink& sink) {
+  bool ok = true;
+  if (l.fragments.empty()) {
+    sink.error(kNoPos, "a loose-ordering needs at least one fragment");
+    return false;
+  }
+  NameSet seen;
+  for (std::size_t fi = 0; fi < l.fragments.size(); ++fi) {
+    const Fragment& f = l.fragments[fi];
+    if (f.ranges.empty()) {
+      sink.error(kNoPos,
+                 "fragment #" + std::to_string(fi + 1) + " has no ranges");
+      ok = false;
+      continue;
+    }
+    NameSet in_fragment;
+    for (const Range& r : f.ranges) {
+      if (r.lo < 1 || r.lo > r.hi) {
+        sink.error(kNoPos, "range " + to_string(r, ab) +
+                               ": bounds must satisfy 1 <= u <= v");
+        ok = false;
+      }
+      if (in_fragment.test(r.name)) {
+        sink.error(kNoPos, "name '" + ab.text(r.name) +
+                               "' used by two ranges of the same fragment");
+        ok = false;
+      }
+      in_fragment.set(r.name);
+    }
+    if (seen.intersects(in_fragment)) {
+      NameSet overlap = seen & in_fragment;
+      sink.error(kNoPos, "fragments share names " + ab.render(overlap) +
+                             "; fragment alphabets must be disjoint");
+      ok = false;
+    }
+    seen |= in_fragment;
+  }
+  return ok;
+}
+
+bool check_wellformed(const Antecedent& a, const Alphabet& ab,
+                      support::DiagnosticSink& sink) {
+  bool ok = check_wellformed(a.pattern, ab, sink);
+  if (a.trigger == kInvalidName) {
+    sink.error(kNoPos, "antecedent requirement needs a trigger name");
+    return false;
+  }
+  if (a.pattern.alphabet().test(a.trigger)) {
+    sink.error(kNoPos, "trigger '" + ab.text(a.trigger) +
+                           "' must not occur in the antecedent pattern");
+    ok = false;
+  }
+  if (ab.direction(a.trigger) == Direction::Output) {
+    sink.error(kNoPos, "trigger '" + ab.text(a.trigger) +
+                           "' must be an input of the component");
+    ok = false;
+  }
+  return ok;
+}
+
+bool check_wellformed(const TimedImplication& t, const Alphabet& ab,
+                      support::DiagnosticSink& sink) {
+  bool ok = check_wellformed(t.antecedent, ab, sink);
+  ok = check_wellformed(t.consequent, ab, sink) && ok;
+  if (!ok) return false;
+  NameSet p = t.antecedent.alphabet();
+  NameSet q = t.consequent.alphabet();
+  if (p.intersects(q)) {
+    sink.error(kNoPos,
+               "antecedent and consequent share names " + ab.render(p & q));
+    ok = false;
+  }
+  bool all_outputs = true;
+  q.for_each([&](std::size_t id) {
+    if (ab.direction(static_cast<Name>(id)) == Direction::Input) {
+      sink.error(kNoPos, "consequent name '" +
+                             ab.text(static_cast<Name>(id)) +
+                             "' is an input; α(Q) must contain only outputs");
+      all_outputs = false;
+    }
+  });
+  return ok && all_outputs;
+}
+
+bool check_wellformed(const Property& p, const Alphabet& ab,
+                      support::DiagnosticSink& sink) {
+  if (p.is_antecedent()) return check_wellformed(p.antecedent(), ab, sink);
+  return check_wellformed(p.timed(), ab, sink);
+}
+
+}  // namespace loom::spec

@@ -1,0 +1,29 @@
+// Well-formedness of loose-ordering properties (paper Fig. 3, right column).
+//
+// Checks, per property:
+//  - every ordering has at least one fragment, every fragment one range;
+//  - range bounds satisfy 1 <= u <= v;
+//  - range names within a fragment are pairwise distinct;
+//  - fragment alphabets within an ordering are pairwise disjoint;
+//  - antecedent: the trigger i does not occur in α(P), and i is an input
+//    when its direction is known;
+//  - timed implication: α(P) and α(Q) are disjoint (they form one chain),
+//    and α(Q) contains only outputs when directions are known.
+#pragma once
+
+#include "spec/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace loom::spec {
+
+bool check_wellformed(const Property& p, const Alphabet& ab,
+                      support::DiagnosticSink& sink);
+bool check_wellformed(const Antecedent& a, const Alphabet& ab,
+                      support::DiagnosticSink& sink);
+bool check_wellformed(const TimedImplication& t, const Alphabet& ab,
+                      support::DiagnosticSink& sink);
+/// Checks an ordering in isolation (constraints 1-4 above).
+bool check_wellformed(const LooseOrdering& l, const Alphabet& ab,
+                      support::DiagnosticSink& sink);
+
+}  // namespace loom::spec

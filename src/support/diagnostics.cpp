@@ -1,0 +1,44 @@
+#include "support/diagnostics.hpp"
+
+namespace loom::support {
+namespace {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  return std::to_string(pos.line) + ":" + std::to_string(pos.column) + ": " +
+         severity_name(severity) + ": " + message;
+}
+
+void DiagnosticSink::error(SourcePos pos, std::string message) {
+  diags_.push_back({Severity::Error, pos, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticSink::warning(SourcePos pos, std::string message) {
+  diags_.push_back({Severity::Warning, pos, std::move(message)});
+}
+
+void DiagnosticSink::note(SourcePos pos, std::string message) {
+  diags_.push_back({Severity::Note, pos, std::move(message)});
+}
+
+std::string DiagnosticSink::to_string() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    if (!out.empty()) out += '\n';
+    out += d.to_string();
+  }
+  return out;
+}
+
+}  // namespace loom::support

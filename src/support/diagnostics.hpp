@@ -1,0 +1,50 @@
+// Diagnostics: source positions for the property parser and structured
+// error reporting shared by the parser, the well-formedness checker and the
+// monitors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace loom::support {
+
+/// 1-based position inside a property source string.
+struct SourcePos {
+  std::size_t line = 1;
+  std::size_t column = 1;
+
+  bool operator==(const SourcePos&) const = default;
+};
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourcePos pos;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Collects diagnostics; the common pattern is to pass one collector through
+/// a whole analysis and test `ok()` at the end.
+class DiagnosticSink {
+ public:
+  void error(SourcePos pos, std::string message);
+  void warning(SourcePos pos, std::string message);
+  void note(SourcePos pos, std::string message);
+
+  bool ok() const { return error_count_ == 0; }
+  std::size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics joined with newlines; empty when there are none.
+  std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace loom::support

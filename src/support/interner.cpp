@@ -1,0 +1,20 @@
+#include "support/interner.hpp"
+
+namespace loom::support {
+
+Interner::Id Interner::intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  const Id id = static_cast<Id>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<Interner::Id> Interner::lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace loom::support

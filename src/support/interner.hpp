@@ -1,0 +1,37 @@
+// String interner: bidirectional mapping between names and dense ids.
+//
+// Interface event names (set_imgAddr, start, ...) are interned once so that
+// monitors work on integer ids and Bitset name sets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace loom::support {
+
+class Interner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalid = static_cast<Id>(-1);
+
+  /// Returns the id of `name`, creating a new one on first sight.
+  Id intern(std::string_view name);
+
+  /// Returns the id of `name` when already interned.
+  std::optional<Id> lookup(std::string_view name) const;
+
+  /// Returns the name for a valid id.
+  const std::string& name(Id id) const { return names_.at(id); }
+
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Id> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace loom::support

@@ -1,0 +1,33 @@
+// Deterministic pseudo-random generator for stimuli generation and tests.
+//
+// xoshiro256** seeded through splitmix64; reproducible across platforms,
+// which matters for the randomized monitor-equivalence tests.
+#pragma once
+
+#include <cstdint>
+
+namespace loom::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli draw with probability `num/den`.
+  bool chance(std::uint32_t num, std::uint32_t den);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace loom::support

@@ -1,0 +1,87 @@
+#include "tlm/payload.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace loom::tlm {
+
+const char* to_string(Command cmd) {
+  switch (cmd) {
+    case Command::Read: return "read";
+    case Command::Write: return "write";
+    case Command::Ignore: return "ignore";
+  }
+  return "?";
+}
+
+const char* to_string(Response resp) {
+  switch (resp) {
+    case Response::Incomplete: return "incomplete";
+    case Response::Ok: return "ok";
+    case Response::AddressError: return "address-error";
+    case Response::CommandError: return "command-error";
+    case Response::GenericError: return "generic-error";
+  }
+  return "?";
+}
+
+Payload Payload::read(std::uint64_t address, std::size_t length) {
+  Payload p;
+  p.command_ = Command::Read;
+  p.address_ = address;
+  p.data_.resize(length, 0);
+  return p;
+}
+
+Payload Payload::write(std::uint64_t address, std::vector<std::uint8_t> data) {
+  Payload p;
+  p.command_ = Command::Write;
+  p.address_ = address;
+  p.data_ = std::move(data);
+  return p;
+}
+
+Payload Payload::write_u32(std::uint64_t address, std::uint32_t value) {
+  Payload p;
+  p.command_ = Command::Write;
+  p.address_ = address;
+  p.data_.resize(4);
+  p.set_u32(value);
+  return p;
+}
+
+std::uint32_t Payload::get_u32(std::size_t offset) const {
+  if (offset + 4 > data_.size()) {
+    throw std::out_of_range("Payload::get_u32 past end of data");
+  }
+  return static_cast<std::uint32_t>(data_[offset]) |
+         (static_cast<std::uint32_t>(data_[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(data_[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(data_[offset + 3]) << 24);
+}
+
+void Payload::set_u32(std::uint32_t value, std::size_t offset) {
+  if (offset + 4 > data_.size()) {
+    throw std::out_of_range("Payload::set_u32 past end of data");
+  }
+  data_[offset] = static_cast<std::uint8_t>(value & 0xff);
+  data_[offset + 1] = static_cast<std::uint8_t>((value >> 8) & 0xff);
+  data_[offset + 2] = static_cast<std::uint8_t>((value >> 16) & 0xff);
+  data_[offset + 3] = static_cast<std::uint8_t>((value >> 24) & 0xff);
+}
+
+std::string Payload::to_string() const {
+  std::string out = tlm::to_string(command_);
+  out += " @0x";
+  char buf[17];
+  snprintf(buf, sizeof buf, "%llx",
+                static_cast<unsigned long long>(address_));
+  out += buf;
+  out += " len=" + std::to_string(data_.size());
+  out += " [";
+  out += tlm::to_string(response_);
+  out += "]";
+  return out;
+}
+
+}  // namespace loom::tlm

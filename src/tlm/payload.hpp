@@ -1,0 +1,63 @@
+// Generic transaction payload, modeled on tlm_generic_payload.
+//
+// Carries a command, a byte-addressed target address, a data buffer and a
+// response status.  Helpers for 32-bit register accesses (the dominant
+// traffic in the case-study platform) use little-endian byte order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace loom::tlm {
+
+enum class Command { Read, Write, Ignore };
+
+enum class Response {
+  Incomplete,     // not yet handled by any target
+  Ok,
+  AddressError,   // no target mapped / register does not exist
+  CommandError,   // target rejects the command kind
+  GenericError,
+};
+
+const char* to_string(Command cmd);
+const char* to_string(Response resp);
+
+class Payload {
+ public:
+  Payload() = default;
+
+  static Payload read(std::uint64_t address, std::size_t length);
+  static Payload write(std::uint64_t address, std::vector<std::uint8_t> data);
+  static Payload write_u32(std::uint64_t address, std::uint32_t value);
+
+  Command command() const { return command_; }
+  void set_command(Command cmd) { command_ = cmd; }
+
+  std::uint64_t address() const { return address_; }
+  void set_address(std::uint64_t address) { address_ = address; }
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::vector<std::uint8_t>& data() { return data_; }
+  std::size_t length() const { return data_.size(); }
+
+  Response response() const { return response_; }
+  void set_response(Response resp) { response_ = resp; }
+  bool ok() const { return response_ == Response::Ok; }
+
+  /// Little-endian 32-bit view of the data buffer (buffer must hold >= 4
+  /// bytes from `offset`).
+  std::uint32_t get_u32(std::size_t offset = 0) const;
+  void set_u32(std::uint32_t value, std::size_t offset = 0);
+
+  std::string to_string() const;
+
+ private:
+  Command command_ = Command::Ignore;
+  std::uint64_t address_ = 0;
+  std::vector<std::uint8_t> data_;
+  Response response_ = Response::Incomplete;
+};
+
+}  // namespace loom::tlm

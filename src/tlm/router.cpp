@@ -1,0 +1,46 @@
+#include "tlm/router.hpp"
+
+#include <stdexcept>
+
+namespace loom::tlm {
+
+Router::Router(std::string name)
+    : name_(std::move(name)), in_(name_ + ".in") {
+  in_.bind(*this);
+}
+
+void Router::map(std::uint64_t base, std::uint64_t size, TargetSocket& out,
+                 bool relative) {
+  if (size == 0) throw std::invalid_argument("Router::map: empty window");
+  for (const auto& e : map_) {
+    const bool disjoint = base + size <= e.base || e.base + e.size <= base;
+    if (!disjoint) {
+      throw std::invalid_argument("Router::map: overlapping window on '" +
+                                  name_ + "'");
+    }
+  }
+  map_.push_back({base, size, &out, relative});
+}
+
+const Router::MapEntry* Router::decode(std::uint64_t address) const {
+  for (const auto& e : map_) {
+    if (address >= e.base && address < e.base + e.size) return &e;
+  }
+  return nullptr;
+}
+
+void Router::b_transport(Payload& trans, sim::Time& delay) {
+  ++transactions_;
+  delay += latency_;
+  const MapEntry* entry = decode(trans.address());
+  if (entry == nullptr) {
+    trans.set_response(Response::AddressError);
+    return;
+  }
+  const std::uint64_t original = trans.address();
+  if (entry->relative) trans.set_address(original - entry->base);
+  entry->out->deliver(trans, delay);
+  trans.set_address(original);  // restore for upstream observers
+}
+
+}  // namespace loom::tlm

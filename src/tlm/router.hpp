@@ -1,0 +1,51 @@
+// Address-decoding bus router (the "Bus" of the paper's Fig. 2 platform).
+//
+// Maps address windows to target sockets, optionally rebasing the address to
+// the window-relative offset, and annotates a per-hop latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlm/socket.hpp"
+
+namespace loom::tlm {
+
+class Router final : public BlockingTransport {
+ public:
+  explicit Router(std::string name);
+
+  /// Socket that initiators bind to.
+  TargetSocket& target_socket() { return in_; }
+
+  /// Maps [base, base+size) to `out`.  With `relative`, the target sees
+  /// window-relative addresses.  Windows must not overlap.
+  void map(std::uint64_t base, std::uint64_t size, TargetSocket& out,
+           bool relative = true);
+
+  void set_latency(sim::Time per_hop) { latency_ = per_hop; }
+
+  void b_transport(Payload& trans, sim::Time& delay) override;
+
+  /// Number of transactions routed (for tests and benches).
+  std::uint64_t transaction_count() const { return transactions_; }
+
+ private:
+  struct MapEntry {
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+    TargetSocket* out = nullptr;
+    bool relative = true;
+  };
+
+  const MapEntry* decode(std::uint64_t address) const;
+
+  std::string name_;
+  TargetSocket in_;
+  std::vector<MapEntry> map_;
+  sim::Time latency_;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace loom::tlm

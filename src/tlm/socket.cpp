@@ -1,0 +1,47 @@
+#include "tlm/socket.hpp"
+
+#include <stdexcept>
+
+namespace loom::tlm {
+
+void TargetSocket::deliver(Payload& trans, sim::Time& delay) {
+  if (impl_ == nullptr) {
+    throw std::logic_error("TargetSocket '" + name_ + "' is not bound");
+  }
+  impl_->b_transport(trans, delay);
+  for (const auto& obs : observers_) obs(trans, delay);
+}
+
+void InitiatorSocket::b_transport(Payload& trans, sim::Time& delay) {
+  if (target_ == nullptr) {
+    throw std::logic_error("InitiatorSocket '" + name_ + "' is not bound");
+  }
+  target_->deliver(trans, delay);
+  for (const auto& obs : observers_) obs(trans, delay);
+}
+
+Response InitiatorSocket::write_u32(std::uint64_t address, std::uint32_t value,
+                                    sim::Time& delay) {
+  Payload p = Payload::write_u32(address, value);
+  b_transport(p, delay);
+  return p.response();
+}
+
+Response InitiatorSocket::read_u32(std::uint64_t address, std::uint32_t& value,
+                                   sim::Time& delay) {
+  Payload p = Payload::read(address, 4);
+  b_transport(p, delay);
+  if (p.ok()) value = p.get_u32();
+  return p.response();
+}
+
+Response InitiatorSocket::read_block(std::uint64_t address,
+                                     std::vector<std::uint8_t>& out,
+                                     std::size_t length, sim::Time& delay) {
+  Payload p = Payload::read(address, length);
+  b_transport(p, delay);
+  if (p.ok()) out = p.data();
+  return p.response();
+}
+
+}  // namespace loom::tlm

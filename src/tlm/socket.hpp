@@ -1,0 +1,84 @@
+// Initiator / target sockets for blocking transport.
+//
+// A TargetSocket is bound to a BlockingTransport implementation (the model
+// of a slave).  An InitiatorSocket is bound to a TargetSocket.  Target
+// sockets support passive observers: callbacks that see every completed
+// transaction.  The monitor observation adapters (src/plat/observation.*)
+// use them to turn bus traffic into interface events without touching the
+// models, which is the paper's non-intrusive ABV setting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "tlm/payload.hpp"
+
+namespace loom::tlm {
+
+/// Interface implemented by transaction targets (slaves and the router).
+class BlockingTransport {
+ public:
+  virtual ~BlockingTransport() = default;
+
+  /// Loosely-timed blocking transport; `delay` is the annotated time budget
+  /// accumulated along the path, added to the caller's local time.
+  virtual void b_transport(Payload& trans, sim::Time& delay) = 0;
+};
+
+class TargetSocket {
+ public:
+  explicit TargetSocket(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void bind(BlockingTransport& impl) { impl_ = &impl; }
+  bool bound() const { return impl_ != nullptr; }
+
+  /// Observer invoked after the target handled the transaction.
+  using Observer = std::function<void(const Payload&, sim::Time delay)>;
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  /// Entry point used by the initiator side.
+  void deliver(Payload& trans, sim::Time& delay);
+
+ private:
+  std::string name_;
+  BlockingTransport* impl_ = nullptr;
+  std::vector<Observer> observers_;
+};
+
+class InitiatorSocket {
+ public:
+  explicit InitiatorSocket(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void bind(TargetSocket& target) { target_ = &target; }
+  bool bound() const { return target_ != nullptr; }
+
+  /// Observer invoked after each transaction issued through this socket
+  /// completes (monitor taps on initiator-side activity, e.g. the IPU's
+  /// gallery reads).
+  using Observer = std::function<void(const Payload&, sim::Time delay)>;
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  void b_transport(Payload& trans, sim::Time& delay);
+
+  // Convenience register-access helpers.
+  Response write_u32(std::uint64_t address, std::uint32_t value,
+                     sim::Time& delay);
+  Response read_u32(std::uint64_t address, std::uint32_t& value,
+                    sim::Time& delay);
+  Response read_block(std::uint64_t address, std::vector<std::uint8_t>& out,
+                      std::size_t length, sim::Time& delay);
+
+ private:
+  std::string name_;
+  TargetSocket* target_ = nullptr;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace loom::tlm

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "abv/campaign.hpp"
+#include "testing.hpp"
+
+namespace loom::abv {
+namespace {
+
+class CampaignPasses : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CampaignPasses, FullLoopIsHealthy) {
+  spec::Alphabet ab;
+  auto p = loom::testing::parse(GetParam(), ab);
+  CampaignOptions opt;
+  opt.seeds = 6;
+  opt.stimuli.rounds = 3;
+  opt.stimuli.noise_permille = 100;
+  opt.mutants_per_kind = 8;
+  opt.check_viapsl = true;
+  const CampaignResult r = run_campaign(p, ab, opt);
+  EXPECT_TRUE(r.ok()) << r.report(ab);
+  EXPECT_EQ(r.traces, 6u);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_EQ(r.valid_accepted, r.traces);
+  EXPECT_EQ(r.oracle_disagreements, 0u);
+  EXPECT_EQ(r.viapsl_false_alarms, 0u);
+  EXPECT_DOUBLE_EQ(r.alphabet_coverage, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Properties, CampaignPasses,
+    ::testing::Values("(n << i, true)",                               //
+                      "(({a, b, c}, &) << s, false)",                 //
+                      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)",
+                      "(p[2,3] => q[1,4] < r, 10us)"));
+
+TEST(Campaign, MutationsAreActuallyKilled) {
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(({a, b}, &) < c << i, true)", ab);
+  CampaignOptions opt;
+  opt.seeds = 8;
+  opt.stimuli.rounds = 2;
+  opt.mutants_per_kind = 10;
+  const CampaignResult r = run_campaign(p, ab, opt);
+  ASSERT_TRUE(r.ok()) << r.report(ab);
+  // The four antecedent-applicable kinds must have produced and killed
+  // invalid mutants; StallDeadline is inapplicable to antecedents.
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_GT(r.mutation[k].applied, 0u) << k;
+    EXPECT_GT(r.mutation[k].invalid, 0u) << k;
+    EXPECT_EQ(r.mutation[k].missed, 0u) << k;
+    EXPECT_EQ(r.mutation[k].detected, r.mutation[k].invalid) << k;
+  }
+  EXPECT_EQ(r.mutation[4].applied, 0u);
+  EXPECT_GT(r.recognizer_state_coverage, 0.3);
+}
+
+TEST(Campaign, ReportIsHumanReadable) {
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(n << i, true)", ab);
+  CampaignOptions opt;
+  opt.seeds = 2;
+  opt.mutants_per_kind = 3;
+  const CampaignResult r = run_campaign(p, ab, opt);
+  const std::string report = r.report(ab);
+  EXPECT_NE(report.find("campaign:"), std::string::npos);
+  EXPECT_NE(report.find("coverage:"), std::string::npos);
+  EXPECT_NE(report.find("early-trigger"), std::string::npos);
+  EXPECT_NE(report.find("PASSED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace loom::abv

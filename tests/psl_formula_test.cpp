@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "psl/evaluator.hpp"
+#include "psl/formula.hpp"
+
+namespace loom::psl {
+namespace {
+
+const std::vector<std::string> kNames = {"a", "b", "c", "i"};
+constexpr spec::Name A = 0, B = 1, C = 2, I = 3;
+
+TEST(Formula, SizesCountNodes) {
+  EXPECT_EQ(size(f_atom(A)), 1u);
+  EXPECT_EQ(size(f_not(f_atom(A))), 2u);
+  EXPECT_EQ(size(f_and(f_atom(A), f_atom(B))), 3u);
+  // G(a -> X(!a U! i)) : G, ->, a, X, U!, !, a, i = 8 nodes
+  auto maxone = f_always(
+      f_implies(f_atom(A), f_next(f_until(f_not(f_atom(A)), f_atom(I)))));
+  EXPECT_EQ(size(maxone), 8u);
+  EXPECT_EQ(temporal_size(maxone), 3u);  // G, X, U!
+}
+
+TEST(Formula, AnyOfBuildsDisjunction) {
+  EXPECT_EQ(f_any_of({})->op, Op::False);
+  EXPECT_EQ(f_any_of({A})->op, Op::Atom);
+  auto d = f_any_of({A, B, C});
+  EXPECT_EQ(size(d), 5u);  // a||b||c : 3 atoms + 2 ors
+  EXPECT_EQ(temporal_size(d), 0u);
+}
+
+TEST(Formula, PrinterRendersPslSyntax) {
+  auto f = f_always(
+      f_implies(f_atom(A), f_next(f_until(f_not(f_atom(A)), f_atom(I)))));
+  EXPECT_EQ(to_string(f, kNames), "always((a -> next((!a until! i))))");
+  EXPECT_EQ(to_string(f_not(f_and(f_atom(A), f_atom(B))), kNames),
+            "!(a && b)");
+  EXPECT_EQ(to_string(f_or(f_true(), f_false()), kNames), "(true || false)");
+  EXPECT_EQ(to_string(f_eventually(f_atom(C)), kNames), "eventually(c)");
+}
+
+// --- evaluator semantics on finite words ---
+
+using Word = std::vector<spec::Name>;
+
+TEST(Evaluator, AtomsAndBooleans) {
+  EXPECT_TRUE(eval(f_atom(A), {A}));
+  EXPECT_FALSE(eval(f_atom(A), {B}));
+  EXPECT_FALSE(eval(f_atom(A), {}));  // no position 0
+  EXPECT_TRUE(eval(f_true(), {}));
+  EXPECT_FALSE(eval(f_false(), {}));
+  EXPECT_TRUE(eval(f_not(f_atom(A)), {B}));
+  EXPECT_TRUE(eval(f_and(f_atom(A), f_not(f_atom(B))), {A}));
+  EXPECT_TRUE(eval(f_implies(f_atom(A), f_atom(B)), {C}));  // vacuous
+}
+
+TEST(Evaluator, NextIsStrong) {
+  EXPECT_TRUE(eval(f_next(f_atom(B)), {A, B}));
+  EXPECT_FALSE(eval(f_next(f_atom(B)), {A}));  // no next position
+  EXPECT_FALSE(eval(f_next(f_atom(B)), {A, C}));
+}
+
+TEST(Evaluator, UntilIsStrong) {
+  // a U! b
+  auto f = f_until(f_atom(A), f_atom(B));
+  EXPECT_TRUE(eval(f, {B}));
+  EXPECT_TRUE(eval(f, {A, B}));
+  EXPECT_TRUE(eval(f, {A, A, B, C}));
+  EXPECT_FALSE(eval(f, {A, A}));     // b never occurs
+  EXPECT_FALSE(eval(f, {A, C, B}));  // a fails before b
+  EXPECT_FALSE(eval(f, {}));
+}
+
+TEST(Evaluator, AlwaysAndEventually) {
+  EXPECT_TRUE(eval(f_always(f_not(f_atom(I))), {A, B, C}));
+  EXPECT_FALSE(eval(f_always(f_not(f_atom(I))), {A, I}));
+  EXPECT_TRUE(eval(f_always(f_atom(A)), {}));  // vacuous on empty word
+  EXPECT_TRUE(eval(f_eventually(f_atom(C)), {A, B, C}));
+  EXPECT_FALSE(eval(f_eventually(f_atom(C)), {A, B}));
+}
+
+TEST(Evaluator, MaxOneClauseSemantics) {
+  // G(a -> X(!a U! i)): no two a's without an i in between.
+  auto f = f_always(
+      f_implies(f_atom(A), f_next(f_until(f_not(f_atom(A)), f_atom(I)))));
+  EXPECT_TRUE(eval(f, {A, I}));
+  EXPECT_TRUE(eval(f, {A, B, I}));
+  EXPECT_TRUE(eval(f, {A, I, A, I}));
+  EXPECT_FALSE(eval(f, {A, A, I}));
+  EXPECT_FALSE(eval(f, {A, B, A, I}));
+  // Strong until: an a with no following i at all is false.
+  EXPECT_FALSE(eval(f, {A, B}));
+}
+
+TEST(Evaluator, BeforeClauseSemantics) {
+  // !i U! a: i forbidden until a occurs (and a must occur).
+  auto f = f_until(f_not(f_atom(I)), f_atom(A));
+  EXPECT_TRUE(eval(f, {A, I}));
+  EXPECT_TRUE(eval(f, {B, A}));
+  EXPECT_FALSE(eval(f, {I, A}));
+  EXPECT_FALSE(eval(f, {B, B}));
+}
+
+TEST(Evaluator, OrderClauseSemantics) {
+  // G(b -> (!a U! i)): once b occurred, a may not reoccur before i.
+  auto f = f_always(f_implies(f_atom(B), f_until(f_not(f_atom(A)), f_atom(I))));
+  EXPECT_TRUE(eval(f, {A, B, I}));
+  EXPECT_FALSE(eval(f, {A, B, A, I}));
+  EXPECT_TRUE(eval(f, {A, B, I, A, B, I}));
+}
+
+}  // namespace
+}  // namespace loom::psl

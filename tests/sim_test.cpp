@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/module.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/signal.hpp"
+#include "sim/time.hpp"
+
+namespace loom::sim {
+namespace {
+
+TEST(Time, UnitsAndArithmetic) {
+  EXPECT_EQ(Time::ns(1).picoseconds(), 1000u);
+  EXPECT_EQ(Time::us(2).picoseconds(), 2000000u);
+  EXPECT_EQ(Time::ms(1), Time::us(1000));
+  EXPECT_EQ(Time::sec(1), Time::ms(1000));
+  EXPECT_EQ(Time::ns(5) + Time::ns(7), Time::ns(12));
+  EXPECT_EQ(Time::ns(7) - Time::ns(5), Time::ns(2));
+  EXPECT_EQ(Time::ns(5) - Time::ns(7), Time::zero());  // saturating
+  EXPECT_EQ(Time::ns(3) * 4, Time::ns(12));
+  EXPECT_LT(Time::ns(1), Time::ns(2));
+  EXPECT_EQ(Time::max() + Time::ns(1), Time::max());  // saturating
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ(Time::ns(150).to_string(), "150 ns");
+  EXPECT_EQ(Time::ns(1000).to_string(), "1 us");
+  EXPECT_EQ(Time::ps(5).to_string(), "5 ps");
+  EXPECT_EQ(Time::zero().to_string(), "0 s");
+  EXPECT_EQ(Time::max().to_string(), "inf");
+}
+
+TEST(Scheduler, RunsProcessAndAdvancesTime) {
+  Scheduler sched;
+  std::vector<std::uint64_t> stamps;
+  struct Driver {
+    static Process run(Scheduler& s, std::vector<std::uint64_t>& stamps) {
+      stamps.push_back(s.now().picoseconds());
+      co_await s.wait(Time::ns(10));
+      stamps.push_back(s.now().picoseconds());
+      co_await s.wait(Time::ns(5));
+      stamps.push_back(s.now().picoseconds());
+    }
+  };
+  sched.spawn(Driver::run(sched, stamps), "driver");
+  const Time end = sched.run();
+  EXPECT_EQ(stamps, (std::vector<std::uint64_t>{0, 10000, 15000}));
+  EXPECT_EQ(end, Time::ns(15));
+}
+
+TEST(Scheduler, RunWithLimitStopsAtLimit) {
+  Scheduler sched;
+  int steps = 0;
+  struct Looper {
+    static Process run(Scheduler& s, int& steps) {
+      for (;;) {
+        co_await s.wait(Time::ns(10));
+        ++steps;
+      }
+    }
+  };
+  sched.spawn(Looper::run(sched, steps), "looper");
+  sched.run(Time::ns(35));
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(sched.now(), Time::ns(35));
+}
+
+TEST(Scheduler, EventNotifyDeltaWakesWaiter) {
+  Scheduler sched;
+  Event ev(sched, "ev");
+  bool woke = false;
+  struct Waiter {
+    static Process run(Scheduler& s, Event& ev, bool& woke) {
+      co_await s.wait(ev);
+      woke = true;
+    }
+  };
+  struct Notifier {
+    static Process run(Scheduler& s, Event& ev) {
+      co_await s.wait(Time::ns(3));
+      ev.notify();
+    }
+  };
+  sched.spawn(Waiter::run(sched, ev, woke), "waiter");
+  sched.spawn(Notifier::run(sched, ev), "notifier");
+  sched.run();
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(sched.now(), Time::ns(3));
+}
+
+TEST(Scheduler, TimedNotifyEarlierOverridesLater) {
+  Scheduler sched;
+  Event ev(sched, "ev");
+  Time woke_at;
+  struct Waiter {
+    static Process run(Scheduler& s, Event& ev, Time& woke_at) {
+      co_await s.wait(ev);
+      woke_at = s.now();
+    }
+  };
+  sched.spawn(Waiter::run(sched, ev, woke_at), "waiter");
+  ev.notify(Time::ns(50));
+  ev.notify(Time::ns(20));  // earlier wins
+  ev.notify(Time::ns(80));  // ignored
+  sched.run();
+  EXPECT_EQ(woke_at, Time::ns(20));
+}
+
+TEST(Scheduler, CancelDropsNotification) {
+  Scheduler sched;
+  Event ev(sched, "ev");
+  bool woke = false;
+  struct Waiter {
+    static Process run(Scheduler& s, Event& ev, bool& woke) {
+      co_await s.wait(ev);
+      woke = true;
+    }
+  };
+  sched.spawn(Waiter::run(sched, ev, woke), "waiter");
+  ev.notify(Time::ns(10));
+  ev.cancel();
+  sched.run(Time::ns(100));
+  EXPECT_FALSE(woke);
+}
+
+TEST(Scheduler, EventCallbacksFire) {
+  Scheduler sched;
+  Event ev(sched, "ev");
+  int persistent = 0, once = 0;
+  ev.on_trigger([&] { ++persistent; });
+  ev.on_next_trigger([&] { ++once; });
+  ev.notify(Time::ns(1));
+  sched.run();
+  ev.notify(Time::ns(1));
+  sched.run();
+  EXPECT_EQ(persistent, 2);
+  EXPECT_EQ(once, 1);
+}
+
+TEST(Scheduler, WaitWithTimeoutEventFirst) {
+  Scheduler sched;
+  Event ev(sched, "ev");
+  bool fired = false;
+  struct Waiter {
+    static Process run(Scheduler& s, Event& ev, bool& fired) {
+      fired = co_await s.wait(ev, Time::ns(100));
+    }
+  };
+  sched.spawn(Waiter::run(sched, ev, fired), "waiter");
+  ev.notify(Time::ns(10));
+  sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), Time::ns(10));
+}
+
+TEST(Scheduler, WaitWithTimeoutTimesOut) {
+  Scheduler sched;
+  Event ev(sched, "ev");
+  bool fired = true;
+  struct Waiter {
+    static Process run(Scheduler& s, Event& ev, bool& fired) {
+      fired = co_await s.wait(ev, Time::ns(25));
+    }
+  };
+  sched.spawn(Waiter::run(sched, ev, fired), "waiter");
+  sched.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sched.now(), Time::ns(25));
+}
+
+TEST(Scheduler, ScheduledCallbackRuns) {
+  Scheduler sched;
+  Time fired_at;
+  sched.schedule_at(Time::ns(42), [&] { fired_at = sched.now(); });
+  sched.run();
+  EXPECT_EQ(fired_at, Time::ns(42));
+}
+
+TEST(Scheduler, TwoProcessesInterleaveDeterministically) {
+  Scheduler sched;
+  std::vector<int> order;
+  struct P {
+    static Process run(Scheduler& s, std::vector<int>& order, int id) {
+      order.push_back(id);
+      co_await s.wait(Time::ns(10));
+      order.push_back(id + 10);
+    }
+  };
+  sched.spawn(P::run(sched, order, 1), "p1");
+  sched.spawn(P::run(sched, order, 2), "p2");
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12}));
+}
+
+TEST(Scheduler, ExceptionInProcessPropagates) {
+  Scheduler sched;
+  struct Thrower {
+    static Process run(Scheduler& s) {
+      co_await s.wait(Time::ns(1));
+      throw std::runtime_error("boom");
+    }
+  };
+  sched.spawn(Thrower::run(sched), "thrower");
+  EXPECT_THROW(sched.run(), std::runtime_error);
+}
+
+TEST(Scheduler, StopRequestHaltsRun) {
+  Scheduler sched;
+  int iterations = 0;
+  struct Looper {
+    static Process run(Scheduler& s, int& n) {
+      for (;;) {
+        co_await s.wait(Time::ns(1));
+        if (++n == 5) s.stop();
+      }
+    }
+  };
+  sched.spawn(Looper::run(sched, iterations), "looper");
+  sched.run();
+  EXPECT_EQ(iterations, 5);
+}
+
+TEST(Signal, UpdateSemantics) {
+  Scheduler sched;
+  Signal<int> sig(sched, "sig", 0);
+  int observed_at_write = -1;
+  int changes = 0;
+  sig.changed().on_trigger([&] { ++changes; });
+  struct Writer {
+    static Process run(Scheduler& s, Signal<int>& sig, int& observed) {
+      sig.write(7);
+      observed = sig.read();  // still the old value in the same delta
+      co_await s.wait(Time::ns(1));
+    }
+  };
+  sched.spawn(Writer::run(sched, sig, observed_at_write), "writer");
+  sched.run();
+  EXPECT_EQ(observed_at_write, 0);
+  EXPECT_EQ(sig.read(), 7);
+  EXPECT_EQ(changes, 1);
+}
+
+TEST(Signal, NoChangeNoNotify) {
+  Scheduler sched;
+  Signal<int> sig(sched, "sig", 5);
+  int changes = 0;
+  sig.changed().on_trigger([&] { ++changes; });
+  struct Writer {
+    static Process run(Scheduler& s, Signal<int>& sig) {
+      sig.write(5);  // same value
+      co_await s.wait(Time::ns(1));
+    }
+  };
+  sched.spawn(Writer::run(sched, sig), "writer");
+  sched.run();
+  EXPECT_EQ(changes, 0);
+}
+
+TEST(Module, HierarchicalNames) {
+  Scheduler sched;
+  Module top(sched, "top");
+  Module child(sched, "ipu", &top);
+  Module grand(sched, "engine", &child);
+  EXPECT_EQ(top.full_name(), "top");
+  EXPECT_EQ(child.full_name(), "top.ipu");
+  EXPECT_EQ(grand.full_name(), "top.ipu.engine");
+  ASSERT_EQ(top.children().size(), 1u);
+  EXPECT_EQ(top.children()[0], &child);
+  EXPECT_EQ(grand.parent(), &child);
+}
+
+TEST(Scheduler, DeltaCyclesCountAndIdle) {
+  Scheduler sched;
+  EXPECT_TRUE(sched.idle());
+  Event ev(sched, "ev");
+  struct Chain {
+    static Process run(Scheduler& s, Event& ev) {
+      ev.notify();
+      co_await s.wait(ev);
+    }
+  };
+  sched.spawn(Chain::run(sched, ev), "chain");
+  EXPECT_FALSE(sched.idle());
+  sched.run();
+  EXPECT_TRUE(sched.idle());
+  EXPECT_GE(sched.delta_count(), 2u);
+}
+
+}  // namespace
+}  // namespace loom::sim

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/vcd.hpp"
+
+namespace loom::sim {
+namespace {
+
+TEST(Vcd, HeaderListsScopesAndVariables) {
+  std::ostringstream out;
+  Scheduler sched;
+  VcdWriter vcd(out, sched);
+  vcd.add_wire("top.ipu.status", 2);
+  vcd.add_event("top.ipu.read_img");
+  vcd.add_wire("top.lock_open", 1);
+  vcd.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(text.find("$scope module top $end"), std::string::npos);
+  EXPECT_NE(text.find("$scope module ipu $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 2 "), std::string::npos);
+  EXPECT_NE(text.find("$var event 1 "), std::string::npos);
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  // Scopes must be balanced.
+  std::size_t scopes = 0, upscopes = 0, pos = 0;
+  while ((pos = text.find("$scope", pos)) != std::string::npos) {
+    ++scopes;
+    pos += 6;
+  }
+  pos = 0;
+  while ((pos = text.find("$upscope", pos)) != std::string::npos) {
+    ++upscopes;
+    pos += 8;
+  }
+  EXPECT_EQ(scopes, upscopes);
+}
+
+TEST(Vcd, ChangesAreTimestampedAndDeduplicated) {
+  std::ostringstream out;
+  Scheduler sched;
+  VcdWriter vcd(out, sched);
+  auto v = vcd.add_wire("sig", 4);
+  vcd.change(v, 3);
+  vcd.change(v, 3);  // duplicate: suppressed
+  struct Driver {
+    static Process run(Scheduler& s, VcdWriter& vcd, VcdWriter::Var v) {
+      co_await s.wait(Time::ns(5));
+      vcd.change(v, 9);
+    }
+  };
+  sched.spawn(Driver::run(sched, vcd, v), "driver");
+  sched.run();
+  vcd.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("#0\nb0011 !"), std::string::npos);
+  EXPECT_NE(text.find("#5000\nb1001 !"), std::string::npos);
+  // Exactly two value lines for the wire (duplicate write suppressed).
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find("\nb", pos)) != std::string::npos) {
+    ++count;
+    pos += 2;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Vcd, EventStrobesAlwaysEmit) {
+  std::ostringstream out;
+  Scheduler sched;
+  VcdWriter vcd(out, sched);
+  auto e = vcd.add_event("ev");
+  vcd.strobe(e);
+  vcd.strobe(e);  // events are not deduplicated
+  vcd.finish();
+  const std::string text = out.str();
+  std::size_t count = 0, pos = 0;
+  while ((pos = text.find("1!", pos)) != std::string::npos) {
+    ++count;
+    pos += 2;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(Vcd, SignalBindingTracksUpdates) {
+  std::ostringstream out;
+  Scheduler sched;
+  Signal<int> sig(sched, "sig", 1);
+  VcdWriter vcd(out, sched);
+  vcd.add_signal("top.sig", sig, 8);
+  struct Driver {
+    static Process run(Scheduler& s, Signal<int>& sig) {
+      co_await s.wait(Time::ns(3));
+      sig.write(7);
+      co_await s.wait(Time::ns(3));
+      sig.write(2);
+    }
+  };
+  sched.spawn(Driver::run(sched, sig), "driver");
+  sched.run();
+  vcd.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("b00000001 !"), std::string::npos);  // initial
+  EXPECT_NE(text.find("b00000111 !"), std::string::npos);  // 7
+  EXPECT_NE(text.find("b00000010 !"), std::string::npos);  // 2
+}
+
+TEST(Vcd, RegistrationAfterDumpThrows) {
+  std::ostringstream out;
+  Scheduler sched;
+  VcdWriter vcd(out, sched);
+  auto v = vcd.add_wire("a", 1);
+  vcd.change(v, 1);
+  EXPECT_THROW(vcd.add_wire("late", 1), std::logic_error);
+}
+
+TEST(Vcd, StrobeOnWireThrows) {
+  std::ostringstream out;
+  Scheduler sched;
+  VcdWriter vcd(out, sched);
+  auto v = vcd.add_wire("a", 1);
+  EXPECT_THROW(vcd.strobe(v), std::logic_error);
+}
+
+TEST(Vcd, ManyVariablesGetDistinctIds) {
+  std::ostringstream out;
+  Scheduler sched;
+  VcdWriter vcd(out, sched);
+  for (int k = 0; k < 200; ++k) {
+    vcd.add_wire("w" + std::to_string(k), 1);
+  }
+  vcd.finish();
+  // 200 > 94: identifiers roll over to two characters without clashes.
+  const std::string text = out.str();
+  EXPECT_EQ(vcd.variable_count(), 200u);
+  EXPECT_NE(text.find("$var wire 1 !\" w94 $end"), std::string::npos);
+  // All $var identifiers are unique.
+  std::set<std::string> ids;
+  std::size_t pos = 0;
+  while ((pos = text.find("$var wire 1 ", pos)) != std::string::npos) {
+    pos += 12;
+    const std::size_t sp = text.find(' ', pos);
+    ids.insert(text.substr(pos, sp - pos));
+  }
+  EXPECT_EQ(ids.size(), 200u);
+}
+
+}  // namespace
+}  // namespace loom::sim

@@ -1,0 +1,144 @@
+// Golden tests for the recognition-context computation against the worked
+// example of the paper's Fig. 4:
+//
+//   (({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)
+//
+//   for n3[2,8]:  s = ∨,  B = {n1, n2},  C = {n4},  Ac = {n5},  Af = {i}
+#include <gtest/gtest.h>
+
+#include "spec/attributes.hpp"
+#include "spec/parser.hpp"
+
+namespace loom::spec {
+namespace {
+
+class Figure4 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    support::DiagnosticSink sink;
+    auto p = parse_property(
+        "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)", ab, sink);
+    ASSERT_TRUE(p.has_value()) << sink.to_string();
+    plan = plan_antecedent(p->antecedent());
+    for (const char* n : {"n1", "n2", "n3", "n4", "n5", "i"}) {
+      ids[n] = *ab.lookup(n);
+    }
+  }
+
+  NameSet set(std::initializer_list<const char*> names) {
+    NameSet s;
+    for (const char* n : names) s.set(ids.at(n));
+    return s;
+  }
+
+  const RangePlan& range_of(const char* name) {
+    const Name id = ids.at(name);
+    for (const auto& f : plan.fragments) {
+      for (const auto& r : f.ranges) {
+        if (r.name == id) return r;
+      }
+    }
+    throw std::runtime_error("no such range");
+  }
+
+  Alphabet ab;
+  OrderingPlan plan;
+  std::map<std::string, Name> ids;
+};
+
+TEST_F(Figure4, StructureOfThePlan) {
+  ASSERT_EQ(plan.fragments.size(), 3u);
+  EXPECT_EQ(plan.fragments[0].ranges.size(), 2u);
+  EXPECT_EQ(plan.fragments[1].ranges.size(), 2u);
+  EXPECT_EQ(plan.fragments[2].ranges.size(), 1u);
+  EXPECT_EQ(plan.terminal, set({"i"}));
+  EXPECT_EQ(plan.chain_alphabet, set({"n1", "n2", "n3", "n4", "n5"}));
+  EXPECT_EQ(plan.alphabet, set({"n1", "n2", "n3", "n4", "n5", "i"}));
+  EXPECT_EQ(plan.max_hi, 8u);
+  EXPECT_FALSE(plan.cyclic);
+}
+
+TEST_F(Figure4, ContextOfN3MatchesThePaper) {
+  const RangePlan& n3 = range_of("n3");
+  EXPECT_EQ(n3.lo, 2u);
+  EXPECT_EQ(n3.hi, 8u);
+  EXPECT_EQ(n3.parent_join, Join::Disj);       // s = ∨
+  EXPECT_EQ(n3.before, set({"n1", "n2"}));     // B
+  EXPECT_EQ(n3.siblings, set({"n4"}));         // C
+  EXPECT_EQ(n3.accept, set({"n5"}));           // Ac
+  EXPECT_EQ(n3.after, set({"i"}));             // Af
+}
+
+TEST_F(Figure4, ContextOfN1) {
+  const RangePlan& n1 = range_of("n1");
+  EXPECT_EQ(n1.parent_join, Join::Conj);
+  EXPECT_TRUE(n1.before.empty());
+  EXPECT_EQ(n1.siblings, set({"n2"}));
+  EXPECT_EQ(n1.accept, set({"n3", "n4"}));
+  EXPECT_EQ(n1.after, set({"n5", "i"}));
+}
+
+TEST_F(Figure4, ContextOfN5LastFragment) {
+  const RangePlan& n5 = range_of("n5");
+  EXPECT_EQ(n5.parent_join, Join::Conj);
+  EXPECT_EQ(n5.before, set({"n1", "n2", "n3", "n4"}));
+  EXPECT_TRUE(n5.siblings.empty());
+  EXPECT_EQ(n5.accept, set({"i"}));  // the trigger stops the last fragment
+  EXPECT_TRUE(n5.after.empty());
+}
+
+TEST_F(Figure4, FragmentAcceptSetsChain) {
+  EXPECT_EQ(plan.fragments[0].accept, set({"n3", "n4"}));
+  EXPECT_EQ(plan.fragments[1].accept, set({"n5"}));
+  EXPECT_EQ(plan.fragments[2].accept, set({"i"}));
+}
+
+TEST(PlanTimed, ConcatenatesAndWrapsAround) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(a < b => c[2,4] < d, 100ns)", ab, sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  OrderingPlan plan = plan_timed(p->timed());
+
+  ASSERT_EQ(plan.fragments.size(), 4u);
+  EXPECT_TRUE(plan.cyclic);
+  EXPECT_EQ(plan.p_boundary, 2u);
+  EXPECT_TRUE(plan.terminal.empty());
+  EXPECT_EQ(plan.max_hi, 4u);
+
+  const Name a = *ab.lookup("a"), b = *ab.lookup("b"), c = *ab.lookup("c");
+  // The chain a < b < c[2,4] < d restarts at {a}: the accept set of the
+  // final fragment is the alphabet of the first one.
+  NameSet first;
+  first.set(a);
+  EXPECT_EQ(plan.fragments[3].accept, first);
+  // Middle accepts chain normally.
+  NameSet bs;
+  bs.set(b);
+  EXPECT_EQ(plan.fragments[0].accept, bs);
+  // B of the last fragment holds all earlier names.
+  NameSet before_d;
+  before_d.set(a);
+  before_d.set(b);
+  before_d.set(c);
+  EXPECT_EQ(plan.fragments[3].ranges[0].before, before_d);
+}
+
+TEST(PlanAntecedent, SingleRangeSingleFragment) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(n << i, true)", ab, sink);
+  ASSERT_TRUE(p.has_value());
+  OrderingPlan plan = plan_antecedent(p->antecedent());
+  ASSERT_EQ(plan.fragments.size(), 1u);
+  const RangePlan& n = plan.fragments[0].ranges[0];
+  EXPECT_TRUE(n.before.empty());
+  EXPECT_TRUE(n.siblings.empty());
+  EXPECT_TRUE(n.after.empty());
+  NameSet i;
+  i.set(*ab.lookup("i"));
+  EXPECT_EQ(n.accept, i);
+}
+
+}  // namespace
+}  // namespace loom::spec

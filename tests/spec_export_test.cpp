@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "spec/export.hpp"
+#include "spec/parser.hpp"
+
+namespace loom::spec {
+namespace {
+
+TEST(ExportDot, PropertyTreeCarriesFigure4Attributes) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)", ab, sink);
+  ASSERT_TRUE(p.has_value());
+  const std::string dot = to_dot(*p, ab);
+  EXPECT_NE(dot.find("digraph property"), std::string::npos);
+  // The worked example of Fig. 4: context of n3[2,8].
+  EXPECT_NE(dot.find("n3[2,8]"), std::string::npos);
+  EXPECT_NE(dot.find("B={n1, n2}"), std::string::npos);
+  EXPECT_NE(dot.find("C={n4}"), std::string::npos);
+  EXPECT_NE(dot.find("Ac={n5}"), std::string::npos);
+  EXPECT_NE(dot.find("Af={i}"), std::string::npos);
+  // Three fragment nodes chained by '<' edges.
+  EXPECT_NE(dot.find("F1"), std::string::npos);
+  EXPECT_NE(dot.find("F3"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"<\""), std::string::npos);
+}
+
+TEST(ExportDot, TimedPropertyTreeWorks) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(a => b[2,4] < c, 1ms)", ab, sink);
+  ASSERT_TRUE(p.has_value());
+  const std::string dot = to_dot(*p, ab);
+  EXPECT_NE(dot.find("b[2,4]"), std::string::npos);
+  EXPECT_NE(dot.find("=>"), std::string::npos);
+}
+
+TEST(ExportDot, RangeAutomatonMatchesFigure5Structure) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)", ab, sink);
+  ASSERT_TRUE(p.has_value());
+  const OrderingPlan plan = plan_antecedent(p->antecedent());
+  const RangePlan& n3 = plan.fragments[1].ranges[0];
+  const std::string dot = range_automaton_dot(n3, ab);
+  // All six states present; the error state is terminal.
+  for (const char* s : {"s0", "s1", "s2", "s3", "s4", "s5"}) {
+    EXPECT_NE(dot.find(s), std::string::npos) << s;
+  }
+  // Disjunctive parent: s2 --Ac--> s0 with nok.
+  EXPECT_NE(dot.find("/nok"), std::string::npos);
+  // Counting transitions with the concrete bounds.
+  EXPECT_NE(dot.find("[cpt<8]"), std::string::npos);
+  EXPECT_NE(dot.find("[cpt>=2]"), std::string::npos);
+  EXPECT_NE(dot.find("start"), std::string::npos);
+}
+
+TEST(ExportDot, ConjunctiveRangeHasNoNok) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(({a, b}, &) << i, true)", ab, sink);
+  const OrderingPlan plan = plan_antecedent(p->antecedent());
+  const std::string dot = range_automaton_dot(plan.fragments[0].ranges[0], ab);
+  EXPECT_EQ(dot.find("/nok"), std::string::npos);
+  EXPECT_NE(dot.find("err (∧)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace loom::spec

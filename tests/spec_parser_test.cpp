@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "spec/ast.hpp"
+#include "spec/lexer.hpp"
+#include "spec/parser.hpp"
+
+namespace loom::spec {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  support::DiagnosticSink sink;
+  auto toks = tokenize("({a, b[2,8]}, &) << i => | 60K", sink);
+  ASSERT_TRUE(sink.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::LParen, TokenKind::LBrace, TokenKind::Ident,
+                TokenKind::Comma, TokenKind::Ident, TokenKind::LBracket,
+                TokenKind::Nat, TokenKind::Comma, TokenKind::Nat,
+                TokenKind::RBracket, TokenKind::RBrace, TokenKind::Comma,
+                TokenKind::Amp, TokenKind::RParen, TokenKind::LessLess,
+                TokenKind::Ident, TokenKind::Implies, TokenKind::Pipe,
+                TokenKind::Nat, TokenKind::End}));
+}
+
+TEST(Lexer, KiloMegaSuffixes) {
+  support::DiagnosticSink sink;
+  auto toks = tokenize("60K 2k 3M 17", sink);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(toks[0].value, 60000u);
+  EXPECT_EQ(toks[1].value, 2000u);
+  EXPECT_EQ(toks[2].value, 3000000u);
+  EXPECT_EQ(toks[3].value, 17u);
+}
+
+TEST(Lexer, CommentsAndWhitespace) {
+  support::DiagnosticSink sink;
+  auto toks = tokenize("a # this is a comment\n  b", sink);
+  ASSERT_TRUE(sink.ok());
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].pos.line, 2u);
+}
+
+TEST(Lexer, BadCharacterReported) {
+  support::DiagnosticSink sink;
+  auto toks = tokenize("a $ b", sink);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(toks[1].kind, TokenKind::Invalid);
+}
+
+TEST(Parser, SingleRangeAntecedent) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(n << i, true)", ab, sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  ASSERT_TRUE(p->is_antecedent());
+  const Antecedent& a = p->antecedent();
+  EXPECT_TRUE(a.repeated);
+  ASSERT_EQ(a.pattern.fragments.size(), 1u);
+  ASSERT_EQ(a.pattern.fragments[0].ranges.size(), 1u);
+  const Range& r = a.pattern.fragments[0].ranges[0];
+  EXPECT_EQ(ab.text(r.name), "n");
+  EXPECT_EQ(r.lo, 1u);
+  EXPECT_EQ(r.hi, 1u);
+  EXPECT_EQ(ab.text(a.trigger), "i");
+}
+
+TEST(Parser, PaperExample2) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property(
+      "(({set_imgAddr, set_glAddr, set_glSize}, &) << start, false)", ab,
+      sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  const Antecedent& a = p->antecedent();
+  EXPECT_FALSE(a.repeated);
+  ASSERT_EQ(a.pattern.fragments.size(), 1u);
+  const Fragment& f = a.pattern.fragments[0];
+  EXPECT_EQ(f.join, Join::Conj);
+  EXPECT_EQ(f.ranges.size(), 3u);
+  EXPECT_EQ(ab.text(a.trigger), "start");
+}
+
+TEST(Parser, PaperExample3TimedImplication) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(start => read_img[100,60K] < set_irq, 2ms)", ab,
+                          sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  ASSERT_TRUE(p->is_timed());
+  const TimedImplication& t = p->timed();
+  ASSERT_EQ(t.antecedent.fragments.size(), 1u);
+  ASSERT_EQ(t.consequent.fragments.size(), 2u);
+  const Range& ri = t.consequent.fragments[0].ranges[0];
+  EXPECT_EQ(ri.lo, 100u);
+  EXPECT_EQ(ri.hi, 60000u);
+  EXPECT_EQ(t.bound, sim::Time::ms(2));
+}
+
+TEST(Parser, Figure4Property) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)", ab, sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  const Antecedent& a = p->antecedent();
+  ASSERT_EQ(a.pattern.fragments.size(), 3u);
+  EXPECT_EQ(a.pattern.fragments[0].join, Join::Conj);
+  EXPECT_EQ(a.pattern.fragments[1].join, Join::Disj);
+  EXPECT_EQ(a.pattern.fragments[1].ranges[0].lo, 2u);
+  EXPECT_EQ(a.pattern.fragments[1].ranges[0].hi, 8u);
+  EXPECT_EQ(a.pattern.fragments[2].ranges.size(), 1u);
+}
+
+TEST(Parser, BraceShorthand) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto l = parse_ordering("{a, b}| < {c, d}", ab, sink);
+  ASSERT_TRUE(l.has_value()) << sink.to_string();
+  EXPECT_EQ(l->fragments[0].join, Join::Disj);
+  EXPECT_EQ(l->fragments[1].join, Join::Conj);  // default
+}
+
+TEST(Parser, DurationUnits) {
+  Alphabet ab;
+  for (auto [src, expect] :
+       std::initializer_list<std::pair<const char*, sim::Time>>{
+           {"(a => b, 5ps)", sim::Time::ps(5)},
+           {"(a => b, 5ns)", sim::Time::ns(5)},
+           {"(a => b, 5us)", sim::Time::us(5)},
+           {"(a => b, 5ms)", sim::Time::ms(5)},
+           {"(a => b, 5s)", sim::Time::sec(5)},
+       }) {
+    support::DiagnosticSink sink;
+    auto p = parse_property(src, ab, sink);
+    ASSERT_TRUE(p.has_value()) << src << "\n" << sink.to_string();
+    EXPECT_EQ(p->timed().bound, expect) << src;
+  }
+}
+
+struct BadInput {
+  const char* source;
+  const char* hint;  // substring expected in the diagnostics
+};
+
+class ParserErrors : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(ParserErrors, Rejected) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property(GetParam().source, ab, sink);
+  EXPECT_FALSE(p.has_value()) << GetParam().source;
+  EXPECT_FALSE(sink.ok());
+  EXPECT_NE(sink.to_string().find(GetParam().hint), std::string::npos)
+      << "diagnostics were: " << sink.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ParserErrors,
+    ::testing::Values(
+        BadInput{"n << i, true)", "expected '('"},
+        BadInput{"(n << i true)", "expected ','"},
+        BadInput{"(n << i, maybe)", "'true' or 'false'"},
+        BadInput{"(n << 5, true)", "trigger name"},
+        BadInput{"(n <> i, true)", "unexpected character"},
+        BadInput{"(a => b, 5)", "time unit"},
+        BadInput{"(a => b, 5lightyears)", "unknown time unit"},
+        BadInput{"(a[2] << i, true)", "expected ','"},
+        BadInput{"(a[2,] << i, true)", "expected a number"},
+        BadInput{"(({a b}, &) << i, true)", "expected '}'"},
+        BadInput{"(({a, b}, +) << i, true)", "unexpected character"},
+        BadInput{"(({a, b} &) << i, true)", "expected ','"},
+        BadInput{"(a < << i, true)", "expected an interface name"},
+        BadInput{"(a << i, true) trailing", "end of input"},
+        BadInput{"(a[99999999999,99999999999] << i, true)", "too large"}));
+
+TEST(Printer, RoundTripsThroughParser) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  const std::string sources[] = {
+      "(n << i, true)",
+      "(n[100,60000] << i, true)",
+      "(({set_imgAddr, set_glAddr, set_glSize}, &) << start, false)",
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+      "(start => read_img[100,60000] < set_irq, 2 ms)",
+  };
+  for (const auto& src : sources) {
+    support::DiagnosticSink s1;
+    auto p1 = parse_property(src, ab, s1);
+    ASSERT_TRUE(p1.has_value()) << src;
+    const std::string printed = to_string(*p1, ab);
+    support::DiagnosticSink s2;
+    auto p2 = parse_property(printed, ab, s2);
+    ASSERT_TRUE(p2.has_value()) << "printed form failed to parse: " << printed;
+    EXPECT_EQ(*p1, *p2) << printed;
+  }
+}
+
+TEST(Ast, AlphabetsOfPatterns) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(({a, b}, &) < c << i, true)", ab, sink);
+  ASSERT_TRUE(p.has_value());
+  const auto alpha = p->alphabet();
+  EXPECT_EQ(alpha.count(), 4u);
+  EXPECT_TRUE(alpha.test(*ab.lookup("a")));
+  EXPECT_TRUE(alpha.test(*ab.lookup("i")));
+}
+
+}  // namespace
+}  // namespace loom::spec

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "spec/parser.hpp"
+#include "spec/reference.hpp"
+
+namespace loom::spec {
+namespace {
+
+Trace trace_of(const std::string& names, Alphabet& ab) {
+  Trace t;
+  std::string w;
+  std::istringstream in(names);
+  std::uint64_t i = 1;
+  while (in >> w) t.push_back({ab.name(w), sim::Time::ns(10 * i++)});
+  return t;
+}
+
+struct AntecedentCase {
+  const char* property;
+  const char* trace;
+  RefVerdict expected;
+};
+
+class AntecedentRef : public ::testing::TestWithParam<AntecedentCase> {};
+
+TEST_P(AntecedentRef, Verdict) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property(GetParam().property, ab, sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  Trace t = trace_of(GetParam().trace, ab);
+  const RefResult r = reference_check(p->antecedent(), t);
+  EXPECT_EQ(r.verdict, GetParam().expected)
+      << "property: " << GetParam().property
+      << "\ntrace: " << GetParam().trace << "\nreason: " << r.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SingleRangeRepeated, AntecedentRef,
+    ::testing::Values(
+        AntecedentCase{"(n << i, true)", "", RefVerdict::Accepted},
+        AntecedentCase{"(n << i, true)", "n i", RefVerdict::Accepted},
+        AntecedentCase{"(n << i, true)", "n i n i", RefVerdict::Accepted},
+        AntecedentCase{"(n << i, true)", "n", RefVerdict::Pending},
+        AntecedentCase{"(n << i, true)", "i", RefVerdict::Rejected},
+        AntecedentCase{"(n << i, true)", "n i i", RefVerdict::Rejected},
+        AntecedentCase{"(n << i, true)", "n n i", RefVerdict::Rejected},
+        AntecedentCase{"(n << i, true)", "n i n n", RefVerdict::Rejected}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SingleRangeNonRepeated, AntecedentRef,
+    ::testing::Values(
+        AntecedentCase{"(n << i, false)", "n i", RefVerdict::Accepted},
+        // After the first validated i, everything is unconstrained.
+        AntecedentCase{"(n << i, false)", "n i i i n n",
+                       RefVerdict::Accepted},
+        AntecedentCase{"(n << i, false)", "i", RefVerdict::Rejected},
+        AntecedentCase{"(n << i, false)", "n n", RefVerdict::Rejected}));
+
+INSTANTIATE_TEST_SUITE_P(
+    RangeBounds, AntecedentRef,
+    ::testing::Values(
+        AntecedentCase{"(n[2,4] << i, true)", "n n i", RefVerdict::Accepted},
+        AntecedentCase{"(n[2,4] << i, true)", "n n n n i",
+                       RefVerdict::Accepted},
+        AntecedentCase{"(n[2,4] << i, true)", "n i", RefVerdict::Rejected},
+        AntecedentCase{"(n[2,4] << i, true)", "n n n n n i",
+                       RefVerdict::Rejected},
+        AntecedentCase{"(n[2,4] << i, true)", "n n n", RefVerdict::Pending}));
+
+INSTANTIATE_TEST_SUITE_P(
+    ConjunctiveFragment, AntecedentRef,
+    ::testing::Values(
+        // Paper Example 2 shape: all three inputs, any order, then start.
+        AntecedentCase{"(({a, b, c}, &) << s, false)", "a b c s",
+                       RefVerdict::Accepted},
+        AntecedentCase{"(({a, b, c}, &) << s, false)", "c a b s",
+                       RefVerdict::Accepted},
+        AntecedentCase{"(({a, b, c}, &) << s, false)", "a b s",
+                       RefVerdict::Rejected},
+        AntecedentCase{"(({a, b, c}, &) << s, false)", "a b c",
+                       RefVerdict::Pending},
+        AntecedentCase{"(({a, b, c}, &) << s, false)", "a b a c s",
+                       RefVerdict::Rejected},  // block a reopened
+        AntecedentCase{"(({a, b, c}, &) << s, false)", "a a b c s",
+                       RefVerdict::Rejected}));  // a[1,1] exceeded
+
+INSTANTIATE_TEST_SUITE_P(
+    DisjunctiveFragment, AntecedentRef,
+    ::testing::Values(
+        AntecedentCase{"(({a, b}, |) << i, true)", "a i", RefVerdict::Accepted},
+        AntecedentCase{"(({a, b}, |) << i, true)", "b i", RefVerdict::Accepted},
+        AntecedentCase{"(({a, b}, |) << i, true)", "a b i",
+                       RefVerdict::Accepted},
+        AntecedentCase{"(({a, b}, |) << i, true)", "i", RefVerdict::Rejected},
+        AntecedentCase{"(({a, b}, |) << i, true)", "a b a i",
+                       RefVerdict::Rejected}));
+
+INSTANTIATE_TEST_SUITE_P(
+    MultiFragment, AntecedentRef,
+    ::testing::Values(
+        AntecedentCase{"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+                       "n1 n2 n3 n3 n5 i", RefVerdict::Accepted},
+        AntecedentCase{"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+                       "n2 n1 n3 n3 n3 n4 n5 i", RefVerdict::Accepted},
+        AntecedentCase{"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+                       "n1 n2 n4 n3 n3 n5 i", RefVerdict::Accepted},
+        // n3 below its minimum.
+        AntecedentCase{"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+                       "n1 n2 n3 n5 i", RefVerdict::Rejected},
+        // n1 reappears in fragment 2 (name of an earlier fragment).
+        AntecedentCase{"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+                       "n1 n2 n3 n3 n1 n5 i", RefVerdict::Rejected},
+        // n5 too early (belongs to a later fragment).
+        AntecedentCase{"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+                       "n1 n5 i", RefVerdict::Rejected},
+        // Fragment 2 skipped entirely.
+        AntecedentCase{"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+                       "n1 n2 n5 i", RefVerdict::Rejected},
+        // Trigger before anything.
+        AntecedentCase{"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+                       "i", RefVerdict::Rejected}));
+
+TEST(AntecedentRefDetails, ErrorIndexPointsAtOffendingEvent) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(n << i, true)", ab, sink);
+  ASSERT_TRUE(p.has_value());
+  Trace t = trace_of("n i i", ab);
+  const RefResult r = reference_check(p->antecedent(), t);
+  ASSERT_EQ(r.verdict, RefVerdict::Rejected);
+  EXPECT_EQ(r.error_index, 2u);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(AntecedentRefDetails, IrrelevantNamesAreProjectedAway) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(n << i, true)", ab, sink);
+  ASSERT_TRUE(p.has_value());
+  Trace t = trace_of("x n y i z", ab);
+  EXPECT_EQ(reference_check(p->antecedent(), t).verdict,
+            RefVerdict::Accepted);
+}
+
+struct TimedCase {
+  const char* property;
+  const char* trace;  // "name@ns" entries
+  std::uint64_t end_ns;
+  RefVerdict expected;
+};
+
+class TimedRef : public ::testing::TestWithParam<TimedCase> {};
+
+Trace timed_trace(const std::string& entries, Alphabet& ab) {
+  Trace t;
+  std::istringstream in(entries);
+  std::string w;
+  while (in >> w) {
+    const auto at = w.find('@');
+    t.push_back({ab.name(w.substr(0, at)),
+                 sim::Time::ns(std::stoull(w.substr(at + 1)))});
+  }
+  return t;
+}
+
+TEST_P(TimedRef, Verdict) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property(GetParam().property, ab, sink);
+  ASSERT_TRUE(p.has_value()) << sink.to_string();
+  Trace t = timed_trace(GetParam().trace, ab);
+  const RefResult r =
+      reference_check(p->timed(), t, sim::Time::ns(GetParam().end_ns));
+  EXPECT_EQ(r.verdict, GetParam().expected)
+      << "property: " << GetParam().property
+      << "\ntrace: " << GetParam().trace << "\nreason: " << r.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Basic, TimedRef,
+    ::testing::Values(
+        // (a => b, 100ns): b must follow a within 100 ns.
+        TimedCase{"(a => b, 100ns)", "a@10 b@50", 200, RefVerdict::Accepted},
+        TimedCase{"(a => b, 100ns)", "a@10 b@110", 200,
+                  RefVerdict::Accepted},  // exactly on the deadline
+        TimedCase{"(a => b, 100ns)", "a@10 b@111", 200, RefVerdict::Rejected},
+        TimedCase{"(a => b, 100ns)", "a@10", 300, RefVerdict::Rejected},
+        TimedCase{"(a => b, 100ns)", "a@10", 50, RefVerdict::Pending},
+        TimedCase{"(a => b, 100ns)", "", 500, RefVerdict::Accepted},
+        // Repetition: each a needs its own timely b.
+        TimedCase{"(a => b, 100ns)", "a@10 b@20 a@30 b@40", 500,
+                  RefVerdict::Accepted},
+        TimedCase{"(a => b, 100ns)", "a@10 b@20 a@30 b@200", 500,
+                  RefVerdict::Rejected},
+        // b without a: out-of-place (chain starts at a).
+        TimedCase{"(a => b, 100ns)", "b@10", 100, RefVerdict::Rejected}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperExample3Shape, TimedRef,
+    ::testing::Values(
+        // (start => read_img[2,5] < set_irq, 1us)
+        TimedCase{"(start => read_img[2,5] < set_irq, 1us)",
+                  "start@10 read_img@20 read_img@30 set_irq@40", 2000,
+                  RefVerdict::Accepted},
+        TimedCase{"(start => read_img[2,5] < set_irq, 1us)",
+                  "start@10 read_img@20 set_irq@30", 2000,
+                  RefVerdict::Rejected},  // too few reads
+        TimedCase{"(start => read_img[2,5] < set_irq, 1us)",
+                  "start@10 read_img@20 read_img@30 read_img@40 read_img@50 "
+                  "read_img@60 read_img@70",
+                  2000, RefVerdict::Rejected},  // six reads > v=5
+        TimedCase{"(start => read_img[2,5] < set_irq, 1us)",
+                  "start@10 read_img@20 read_img@900 set_irq@1200", 2000,
+                  RefVerdict::Rejected},  // irq after deadline (10+1000)
+        TimedCase{"(start => read_img[2,5] < set_irq, 1us)",
+                  "start@10 read_img@20 read_img@30 set_irq@40 start@50 "
+                  "read_img@60 read_img@70 set_irq@80",
+                  2000, RefVerdict::Accepted},  // two clean rounds
+        // set_irq without the reads.
+        TimedCase{"(start => read_img[2,5] < set_irq, 1us)",
+                  "start@10 set_irq@20", 2000, RefVerdict::Rejected}));
+
+INSTANTIATE_TEST_SUITE_P(
+    MinCompleteSemantics, TimedRef,
+    ::testing::Values(
+        // Final fragment with lo<hi: obligation met at the lower bound.
+        TimedCase{"(a => b[2,4], 100ns)", "a@10 b@20 b@30", 500,
+                  RefVerdict::Accepted},
+        TimedCase{"(a => b[2,4], 100ns)", "a@10 b@20 b@30 b@40 b@50", 500,
+                  RefVerdict::Accepted},  // draining up to hi
+        TimedCase{"(a => b[2,4], 100ns)", "a@10 b@20", 500,
+                  RefVerdict::Rejected},  // min never reached, deadline passes
+        TimedCase{"(a => b[2,4], 100ns)", "a@10 b@20 b@30 b@40 b@50 b@60", 500,
+                  RefVerdict::Rejected},  // five b's > hi
+        // New round: restart name after the block.
+        TimedCase{"(a => b[2,4], 100ns)", "a@10 b@20 b@30 a@40 b@50 b@60", 500,
+                  RefVerdict::Accepted},
+        // t_start is min-completion of P: with P = p[2,3], the clock starts
+        // at the second p.
+        TimedCase{"(p[2,3] => q, 100ns)", "p@10 p@50 q@140", 500,
+                  RefVerdict::Accepted},
+        TimedCase{"(p[2,3] => q, 100ns)", "p@10 p@50 p@60 q@160", 500,
+                  RefVerdict::Rejected}));  // deadline from second p (150)
+
+TEST(TimedRefDetails, DeadlineAtEndOfObservation) {
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  auto p = parse_property("(a => b, 100ns)", ab, sink);
+  ASSERT_TRUE(p.has_value());
+  Trace t = timed_trace("a@10", ab);
+  // end_time within the deadline: still pending
+  EXPECT_EQ(reference_check(p->timed(), t, sim::Time::ns(100)).verdict,
+            RefVerdict::Pending);
+  // end_time past the deadline: rejected
+  EXPECT_EQ(reference_check(p->timed(), t, sim::Time::ns(111)).verdict,
+            RefVerdict::Rejected);
+}
+
+}  // namespace
+}  // namespace loom::spec

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "spec/parser.hpp"
+#include "spec/wellformed.hpp"
+
+namespace loom::spec {
+namespace {
+
+Property parse_ok(const std::string& src, Alphabet& ab) {
+  support::DiagnosticSink sink;
+  auto p = parse_property(src, ab, sink);
+  EXPECT_TRUE(p.has_value()) << src << "\n" << sink.to_string();
+  return *p;
+}
+
+TEST(WellFormed, AcceptsPaperExamples) {
+  Alphabet ab;
+  const char* sources[] = {
+      "(n << i, true)",
+      "(n[100,60K] << i, true)",
+      "(({n1, n2, n3, n4}, &) << i, false)",
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, false)",
+      "(n1 => n2 < n3 < n4, 100ns)",
+      "(start => read_img[100,60K] < set_irq, 2ms)",
+  };
+  for (const char* src : sources) {
+    Alphabet local;
+    support::DiagnosticSink sink;
+    auto p = parse_ok(src, local);
+    EXPECT_TRUE(check_wellformed(p, local, sink)) << src << "\n"
+                                                  << sink.to_string();
+  }
+}
+
+TEST(WellFormed, RejectsTriggerInsidePattern) {
+  Alphabet ab;
+  auto p = parse_ok("(({i, b}, &) << i, true)", ab);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_wellformed(p, ab, sink));
+  EXPECT_NE(sink.to_string().find("must not occur"), std::string::npos);
+}
+
+TEST(WellFormed, RejectsDuplicateNameInFragment) {
+  Alphabet ab;
+  auto p = parse_ok("(({a, a}, &) << i, true)", ab);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_wellformed(p, ab, sink));
+  EXPECT_NE(sink.to_string().find("two ranges"), std::string::npos);
+}
+
+TEST(WellFormed, RejectsSharedNamesAcrossFragments) {
+  Alphabet ab;
+  auto p = parse_ok("(({a, b}, &) < ({b, c}, |) << i, true)", ab);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_wellformed(p, ab, sink));
+  EXPECT_NE(sink.to_string().find("disjoint"), std::string::npos);
+}
+
+TEST(WellFormed, RejectsBadRangeBounds) {
+  Alphabet ab;
+  auto p = parse_ok("(a[5,2] << i, true)", ab);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_wellformed(p, ab, sink));
+  EXPECT_NE(sink.to_string().find("1 <= u <= v"), std::string::npos);
+
+  Alphabet ab2;
+  auto p2 = parse_ok("(a[0,2] << i, true)", ab2);
+  support::DiagnosticSink sink2;
+  EXPECT_FALSE(check_wellformed(p2, ab2, sink2));
+}
+
+TEST(WellFormed, RejectsOverlapBetweenPAndQ) {
+  Alphabet ab;
+  auto p = parse_ok("(a < b => b < c, 5ns)", ab);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_wellformed(p, ab, sink));
+  EXPECT_NE(sink.to_string().find("share names"), std::string::npos);
+}
+
+TEST(WellFormed, ConsequentMustBeOutputs) {
+  Alphabet ab;
+  ab.input("set_cfg");
+  ab.output("irq");
+  auto p = parse_ok("(go => set_cfg < irq, 5ns)", ab);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_wellformed(p, ab, sink));
+  EXPECT_NE(sink.to_string().find("only outputs"), std::string::npos);
+}
+
+TEST(WellFormed, TriggerMustBeInput) {
+  Alphabet ab;
+  ab.output("done");
+  auto p = parse_ok("(a << done, true)", ab);
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_wellformed(p, ab, sink));
+  EXPECT_NE(sink.to_string().find("input"), std::string::npos);
+}
+
+TEST(WellFormed, UnknownDirectionsAreAllowed) {
+  // The parser interns names with unknown direction; direction checks only
+  // apply once directions are declared.
+  Alphabet ab;
+  auto p = parse_ok("(go => step < irq, 5ns)", ab);
+  support::DiagnosticSink sink;
+  EXPECT_TRUE(check_wellformed(p, ab, sink)) << sink.to_string();
+}
+
+TEST(WellFormed, EmptyOrderingRejected) {
+  LooseOrdering l;
+  Alphabet ab;
+  support::DiagnosticSink sink;
+  EXPECT_FALSE(check_wellformed(l, ab, sink));
+}
+
+}  // namespace
+}  // namespace loom::spec

@@ -1,0 +1,79 @@
+// Shared helpers for the LOOM test suites.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mon/monitors.hpp"
+#include "spec/parser.hpp"
+#include "spec/reference.hpp"
+#include "spec/wellformed.hpp"
+
+namespace loom::testing {
+
+/// Parses a property, asserting success; aborts the test on failure.
+inline spec::Property parse(const std::string& source, spec::Alphabet& ab) {
+  support::DiagnosticSink sink;
+  auto p = spec::parse_property(source, ab, sink);
+  if (!p) {
+    throw std::runtime_error("parse failed for: " + source + "\n" +
+                             sink.to_string());
+  }
+  return *p;
+}
+
+/// Builds a trace from a whitespace-separated list of names; events are
+/// spaced `step_ns` apart starting at t = step_ns.
+inline spec::Trace trace_of(const std::string& names, spec::Alphabet& ab,
+                            std::uint64_t step_ns = 10) {
+  spec::Trace t;
+  std::istringstream in(names);
+  std::string w;
+  std::uint64_t i = 1;
+  while (in >> w) {
+    t.push_back({ab.name(w), sim::Time::ns(step_ns * i)});
+    ++i;
+  }
+  return t;
+}
+
+/// Builds a trace with explicit "name@ns" stamps, e.g. "a@10 b@25".
+inline spec::Trace timed_trace_of(const std::string& entries,
+                                  spec::Alphabet& ab) {
+  spec::Trace t;
+  std::istringstream in(entries);
+  std::string w;
+  while (in >> w) {
+    const auto at = w.find('@');
+    const std::string name = w.substr(0, at);
+    const std::uint64_t ns = std::stoull(w.substr(at + 1));
+    t.push_back({ab.name(name), sim::Time::ns(ns)});
+  }
+  return t;
+}
+
+/// Runs a Drct monitor over a trace and finishes it at `end_time` (defaults
+/// to the last event's time).
+inline mon::Verdict run_monitor(mon::Monitor& m, const spec::Trace& trace,
+                                std::optional<sim::Time> end_time = {}) {
+  for (const auto& ev : trace) m.observe(ev.name, ev.time);
+  sim::Time end = end_time.value_or(
+      trace.empty() ? sim::Time::zero() : trace.back().time);
+  m.finish(end);
+  return m.verdict();
+}
+
+/// Maps a monitor verdict onto the reference verdict domain.
+inline spec::RefVerdict as_ref(mon::Verdict v) {
+  switch (v) {
+    case mon::Verdict::Violated: return spec::RefVerdict::Rejected;
+    case mon::Verdict::Pending: return spec::RefVerdict::Pending;
+    case mon::Verdict::Monitoring:
+    case mon::Verdict::Holds: return spec::RefVerdict::Accepted;
+  }
+  return spec::RefVerdict::Accepted;
+}
+
+}  // namespace loom::testing

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "tlm/payload.hpp"
+#include "tlm/router.hpp"
+#include "tlm/socket.hpp"
+
+namespace loom::tlm {
+namespace {
+
+TEST(Payload, Factories) {
+  Payload r = Payload::read(0x100, 8);
+  EXPECT_EQ(r.command(), Command::Read);
+  EXPECT_EQ(r.address(), 0x100u);
+  EXPECT_EQ(r.length(), 8u);
+  EXPECT_EQ(r.response(), Response::Incomplete);
+
+  Payload w = Payload::write_u32(0x20, 0xdeadbeef);
+  EXPECT_EQ(w.command(), Command::Write);
+  EXPECT_EQ(w.get_u32(), 0xdeadbeefu);
+}
+
+TEST(Payload, U32LittleEndian) {
+  Payload p = Payload::write_u32(0, 0x01020304);
+  EXPECT_EQ(p.data()[0], 0x04);
+  EXPECT_EQ(p.data()[1], 0x03);
+  EXPECT_EQ(p.data()[2], 0x02);
+  EXPECT_EQ(p.data()[3], 0x01);
+  p.set_u32(0xa0b0c0d0);
+  EXPECT_EQ(p.get_u32(), 0xa0b0c0d0u);
+}
+
+TEST(Payload, U32OutOfRangeThrows) {
+  Payload p = Payload::read(0, 2);
+  EXPECT_THROW(p.get_u32(), std::out_of_range);
+  EXPECT_THROW(p.set_u32(1), std::out_of_range);
+}
+
+TEST(Payload, ToStringMentionsCommandAndResponse) {
+  Payload p = Payload::read(0xab, 4);
+  p.set_response(Response::Ok);
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("read"), std::string::npos);
+  EXPECT_NE(s.find("ab"), std::string::npos);
+  EXPECT_NE(s.find("ok"), std::string::npos);
+}
+
+/// A 16-byte scratch target recording the addresses it was accessed at.
+class ScratchTarget final : public BlockingTransport {
+ public:
+  explicit ScratchTarget(std::string name) : socket(std::move(name)) {
+    socket.bind(*this);
+  }
+
+  void b_transport(Payload& trans, sim::Time& delay) override {
+    delay += sim::Time::ns(5);
+    last_address = trans.address();
+    if (trans.address() + trans.length() > mem.size()) {
+      trans.set_response(Response::AddressError);
+      return;
+    }
+    if (trans.command() == Command::Write) {
+      std::copy(trans.data().begin(), trans.data().end(),
+                mem.begin() + static_cast<long>(trans.address()));
+    } else if (trans.command() == Command::Read) {
+      std::copy(mem.begin() + static_cast<long>(trans.address()),
+                mem.begin() + static_cast<long>(trans.address()) +
+                    static_cast<long>(trans.length()),
+                trans.data().begin());
+    }
+    trans.set_response(Response::Ok);
+  }
+
+  TargetSocket socket;
+  std::array<std::uint8_t, 16> mem{};
+  std::uint64_t last_address = ~0ull;
+};
+
+TEST(Socket, WriteThenReadRoundtrip) {
+  ScratchTarget target("mem");
+  InitiatorSocket init("cpu");
+  init.bind(target.socket);
+
+  sim::Time delay;
+  EXPECT_EQ(init.write_u32(4, 0xcafef00d, delay), Response::Ok);
+  std::uint32_t v = 0;
+  EXPECT_EQ(init.read_u32(4, v, delay), Response::Ok);
+  EXPECT_EQ(v, 0xcafef00du);
+  EXPECT_EQ(delay, sim::Time::ns(10));  // two 5 ns accesses
+}
+
+TEST(Socket, UnboundThrows) {
+  InitiatorSocket init("cpu");
+  Payload p = Payload::read(0, 4);
+  sim::Time delay;
+  EXPECT_THROW(init.b_transport(p, delay), std::logic_error);
+
+  TargetSocket t("t");
+  Payload q = Payload::read(0, 4);
+  EXPECT_THROW(t.deliver(q, delay), std::logic_error);
+}
+
+TEST(Socket, ObserversSeeCompletedTransactions) {
+  ScratchTarget target("mem");
+  InitiatorSocket init("cpu");
+  init.bind(target.socket);
+  std::vector<std::uint64_t> observed;
+  target.socket.add_observer(
+      [&](const Payload& p, sim::Time) { observed.push_back(p.address()); });
+
+  sim::Time delay;
+  init.write_u32(0, 1, delay);
+  init.write_u32(8, 2, delay);
+  EXPECT_EQ(observed, (std::vector<std::uint64_t>{0, 8}));
+}
+
+TEST(Router, DecodesAndRebases) {
+  ScratchTarget a("a"), b("b");
+  Router bus("bus");
+  bus.map(0x1000, 16, a.socket);
+  bus.map(0x2000, 16, b.socket);
+  InitiatorSocket init("cpu");
+  init.bind(bus.target_socket());
+
+  sim::Time delay;
+  EXPECT_EQ(init.write_u32(0x1004, 0x11, delay), Response::Ok);
+  EXPECT_EQ(a.last_address, 4u);  // rebased
+  EXPECT_EQ(init.write_u32(0x2008, 0x22, delay), Response::Ok);
+  EXPECT_EQ(b.last_address, 8u);
+  EXPECT_EQ(bus.transaction_count(), 2u);
+}
+
+TEST(Router, AbsoluteMappingKeepsAddress) {
+  ScratchTarget a("a");
+  Router bus("bus");
+  bus.map(0, 16, a.socket, /*relative=*/false);
+  InitiatorSocket init("cpu");
+  init.bind(bus.target_socket());
+  sim::Time delay;
+  EXPECT_EQ(init.write_u32(12, 9, delay), Response::Ok);
+  EXPECT_EQ(a.last_address, 12u);
+}
+
+TEST(Router, UnmappedAddressErrors) {
+  Router bus("bus");
+  ScratchTarget a("a");
+  bus.map(0x1000, 16, a.socket);
+  InitiatorSocket init("cpu");
+  init.bind(bus.target_socket());
+  sim::Time delay;
+  std::uint32_t v = 0;
+  EXPECT_EQ(init.read_u32(0x9000, v, delay), Response::AddressError);
+}
+
+TEST(Router, OverlappingWindowsRejected) {
+  Router bus("bus");
+  ScratchTarget a("a"), b("b");
+  bus.map(0x1000, 0x100, a.socket);
+  EXPECT_THROW(bus.map(0x10f0, 0x10, b.socket), std::invalid_argument);
+  EXPECT_THROW(bus.map(0x1000, 0x100, b.socket), std::invalid_argument);
+  bus.map(0x1100, 0x100, b.socket);  // adjacent is fine
+}
+
+TEST(Router, LatencyAnnotated) {
+  ScratchTarget a("a");
+  Router bus("bus");
+  bus.set_latency(sim::Time::ns(2));
+  bus.map(0, 16, a.socket);
+  InitiatorSocket init("cpu");
+  init.bind(bus.target_socket());
+  sim::Time delay;
+  init.write_u32(0, 1, delay);
+  EXPECT_EQ(delay, sim::Time::ns(7));  // 2 (bus) + 5 (target)
+}
+
+TEST(Router, ObserverOnRouterSeesOriginalAddress) {
+  ScratchTarget a("a");
+  Router bus("bus");
+  bus.map(0x500, 16, a.socket);
+  InitiatorSocket init("cpu");
+  init.bind(bus.target_socket());
+  std::uint64_t seen = 0;
+  bus.target_socket().add_observer(
+      [&](const Payload& p, sim::Time) { seen = p.address(); });
+  sim::Time delay;
+  init.write_u32(0x504, 7, delay);
+  EXPECT_EQ(seen, 0x504u);  // restored after routing
+}
+
+}  // namespace
+}  // namespace loom::tlm
