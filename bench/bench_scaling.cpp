@@ -1,99 +1,99 @@
-// Ablation: the §7 complexity claims as parameter sweeps.
+// Scaling of the sharded campaign engine: the paper's Fig. 1 loop
+// (stimuli → monitors → mutation → coverage) run serially and on a
+// work-stealing pool with growing thread counts.  Prints events/second and
+// speedup per thread count and verifies on the way that every parallel run
+// is bit-identical to the serial baseline (the engine's core invariant —
+// see tests/campaign_parallel_test.cpp for the exhaustive version).
 //
-//   Drct   time Θ(max_i |α(F_i)|), space Θ(Σ_i |α(F_i)|) — independent of
-//          the range bounds [u,v];
-//   ViaPSL Θ(Δ + Σ (v-u+1)^2 + Σ |α(F_j)|·|α(F_j-1)|) — quadratic in the
-//          range width and in fragment arity.
+//   $ ./bench_scaling [max_threads] [seeds]
 //
-// Prints three sweeps: range width v, fragment arity k, fragment count q.
+// The complexity sweeps that used to live here moved conceptually into
+// bench_fig6_table, which prints the same Drct-vs-ViaPSL cost story.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
-#include "abv/stimuli.hpp"
-#include "mon/monitors.hpp"
-#include "psl/cost_model.hpp"
+#include "abv/campaign.hpp"
 #include "spec/parser.hpp"
+#include "support/args.hpp"
 
 namespace {
 
 using namespace loom;
 
-struct Cost {
-  double drct_ops, drct_bits, via_ops, via_bits;
+constexpr const char* kProperties[] = {
+    "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)",
+    "(p[2,3] => q[1,4] < r, 1ms)",
 };
 
-Cost measure(const std::string& source) {
+struct Sample {
+  double seconds = 0.0;
+  std::size_t monitor_events = 0;
+  std::string report;
+};
+
+Sample run_once(const char* source, std::size_t threads, std::size_t seeds) {
   spec::Alphabet ab;
   support::DiagnosticSink sink;
   auto property = spec::parse_property(source, ab, sink);
   if (!property) {
-    std::fprintf(stderr, "parse error: %s\n%s\n", source.c_str(),
-                 sink.to_string().c_str());
+    std::fprintf(stderr, "parse error:\n%s\n", sink.to_string().c_str());
     std::exit(1);
   }
-  support::Rng rng(7);
-  abv::StimuliOptions opt;
-  opt.rounds = 5;
-  const spec::Trace trace = abv::generate_valid(*property, ab, rng, opt);
-  auto monitor = mon::make_monitor(*property);
-  for (const auto& ev : trace) monitor->observe(ev.name, ev.time);
-  monitor->finish(trace.back().time);
-  const psl::PslCost cost = psl::estimate(*property);
-  return {static_cast<double>(monitor->stats().max_ops_per_event),
-          static_cast<double>(monitor->space_bits()),
-          static_cast<double>(cost.ops_per_token + cost.lexer_ops),
-          static_cast<double>(cost.total_bits())};
-}
+  abv::CampaignOptions opt;
+  opt.seeds = seeds;
+  opt.stimuli.rounds = 6;
+  opt.stimuli.noise_permille = 100;
+  opt.mutants_per_kind = 24;
+  opt.threads = threads;
+  opt.shard_size = 1;  // finest grain: every unit can be stolen
 
-void print_row(const std::string& param, const Cost& c) {
-  std::printf("%-18s | %10.0f %10.0f | %12.3e %12.3e\n", param.c_str(),
-              c.drct_ops, c.drct_bits, c.via_ops, c.via_bits);
-}
+  const auto begin = std::chrono::steady_clock::now();
+  const abv::CampaignResult r = abv::run_campaign(*property, ab, opt);
+  const auto end = std::chrono::steady_clock::now();
 
-void header(const char* sweep) {
-  std::printf("\n%s\n%-18s | %10s %10s | %12s %12s\n", sweep, "parameter",
-              "Drct ops", "Drct bits", "ViaPSL ops", "ViaPSL bits");
-  std::printf("%s\n", std::string(72, '-').c_str());
+  Sample s;
+  s.seconds = std::chrono::duration<double>(end - begin).count();
+  s.monitor_events = static_cast<std::size_t>(r.monitor_stats.events);
+  s.report = r.report(ab);
+  return s;
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Complexity sweeps (Drct measured, ViaPSL analytic model)\n");
+int main(int argc, char** argv) {
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t max_threads =
+      support::parse_count(argc, argv, 1, std::max<std::size_t>(hw, 8));
+  const std::size_t seeds = support::parse_count(argc, argv, 2, 48);
 
-  header("Sweep 1: range width — (n[1,v] << i, true)");
-  for (const unsigned v : {1u, 4u, 16u, 64u, 256u, 1024u, 4096u, 16384u}) {
-    // Cap stimulus block lengths by sampling the property as written; for
-    // large v the generator picks lengths uniformly, so runtime stays sane.
-    const Cost c = measure("(n[1," + std::to_string(v) + "] << i, true)");
-    print_row("v=" + std::to_string(v), c);
-  }
+  std::printf("Sharded campaign scaling (%zu hardware threads, %zu seeds)\n",
+              hw, seeds);
+  bool all_identical = true;
+  for (const char* source : kProperties) {
+    std::printf("\nproperty: %s\n", source);
+    std::printf("%8s %12s %14s %9s %s\n", "threads", "wall [ms]",
+                "mon events/s", "speedup", "deterministic");
 
-  header("Sweep 2: fragment arity — (({n1..nk}, &) << i, false)");
-  for (const unsigned k : {1u, 2u, 4u, 8u, 16u, 32u}) {
-    std::string names;
-    for (unsigned j = 1; j <= k; ++j) {
-      if (j > 1) names += ", ";
-      names += "n" + std::to_string(j);
+    const Sample serial = run_once(source, 1, seeds);
+    for (std::size_t t = 1; t <= max_threads; t *= 2) {
+      const Sample s = t == 1 ? serial : run_once(source, t, seeds);
+      const bool identical = s.report == serial.report;
+      all_identical = all_identical && identical;
+      std::printf("%8zu %12.1f %14.3e %8.2fx %s\n", t, s.seconds * 1e3,
+                  static_cast<double>(s.monitor_events) / s.seconds,
+                  serial.seconds / s.seconds,
+                  identical ? "bit-identical" : "MISMATCH");
     }
-    const Cost c = measure("(({" + names + "}, &) << i, false)");
-    print_row("k=" + std::to_string(k), c);
   }
 
-  header("Sweep 3: fragment count — (m1 < m2 < ... < mq << i, true)");
-  for (const unsigned q : {1u, 2u, 4u, 8u, 16u}) {
-    std::string chain;
-    for (unsigned j = 1; j <= q; ++j) {
-      if (j > 1) chain += " < ";
-      chain += "m" + std::to_string(j);
-    }
-    const Cost c = measure("(" + chain + " << i, true)");
-    print_row("q=" + std::to_string(q), c);
+  if (!all_identical) {
+    std::fprintf(stderr, "\nFAIL: a parallel run diverged from serial\n");
+    return 1;
   }
-
-  std::printf(
-      "\nExpected shapes: Drct ops flat in v (sweep 1), linear-ish in k and "
-      "constant-per-event in q;\nViaPSL ops quadratic in v and in total "
-      "token count (Asynch pairs + Range pairs + Order products).\n");
+  std::printf("\nall parallel runs bit-identical to the serial baseline\n");
   return 0;
 }

@@ -4,9 +4,11 @@
 // with wall-clock numbers on this host.
 #include <benchmark/benchmark.h>
 
+#include "abv/campaign.hpp"
 #include "abv/stimuli.hpp"
 #include "mon/monitors.hpp"
 #include "psl/clause_monitor.hpp"
+#include "sim/scheduler.hpp"
 #include "spec/parser.hpp"
 
 namespace {
@@ -105,6 +107,62 @@ void BM_DrctWideRange(benchmark::State& state) {
   state.SetComplexityN(width);
 }
 BENCHMARK(BM_DrctWideRange)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_CampaignSharded(benchmark::State& state) {
+  // The full Fig. 1 loop on the sharded engine; the argument is the thread
+  // count (1 = serial baseline).  Deterministic across the sweep, so the
+  // runs are directly comparable.
+  Fixture fx(kConfig[2], 4);
+  abv::CampaignOptions opt;
+  opt.seeds = 8;
+  opt.stimuli.rounds = 4;
+  opt.mutants_per_kind = 8;
+  opt.threads = static_cast<std::size_t>(state.range(0));
+  opt.shard_size = 1;
+  std::uint64_t monitor_events = 0;
+  for (auto _ : state) {
+    const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    monitor_events += r.monitor_stats.events;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetLabel("threads=" + std::to_string(opt.threads));
+}
+BENCHMARK(BM_CampaignSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_MonitorModulePerEvent(benchmark::State& state) {
+  // In-simulation stepping, one observe() per event: every step pays the
+  // violation-callback check and the watchdog re-arm.
+  Fixture fx(kConfig[state.range(0)]);
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    auto monitor = mon::make_monitor(fx.property);
+    mon::MonitorModule module(scheduler, "mon", *monitor, fx.ab);
+    for (const auto& ev : fx.trace) module.observe(ev.name, ev.time);
+    benchmark::DoNotOptimize(monitor->verdict());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.size()));
+  state.SetLabel(kConfig[state.range(0)]);
+}
+BENCHMARK(BM_MonitorModulePerEvent)->DenseRange(0, 3);
+
+void BM_MonitorModuleBatch(benchmark::State& state) {
+  // Batched fast path: the whole recorded slice in one observe_batch()
+  // call, bookkeeping once at the end.
+  Fixture fx(kConfig[state.range(0)]);
+  for (auto _ : state) {
+    sim::Scheduler scheduler;
+    auto monitor = mon::make_monitor(fx.property);
+    mon::MonitorModule module(scheduler, "mon", *monitor, fx.ab);
+    module.observe_batch(fx.trace);
+    benchmark::DoNotOptimize(monitor->verdict());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.size()));
+  state.SetLabel(kConfig[state.range(0)]);
+}
+BENCHMARK(BM_MonitorModuleBatch)->DenseRange(0, 3);
 
 void BM_ParseProperty(benchmark::State& state) {
   const char* source =

@@ -1,9 +1,13 @@
 #include "abv/campaign.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
+#include <thread>
 
 #include "mon/monitors.hpp"
 #include "psl/clause_monitor.hpp"
+#include "support/thread_pool.hpp"
 
 namespace loom::abv {
 namespace {
@@ -12,89 +16,239 @@ constexpr MutationKind kAllKinds[5] = {
     MutationKind::Drop, MutationKind::Duplicate, MutationKind::SwapAdjacent,
     MutationKind::EarlyTrigger, MutationKind::StallDeadline};
 
+// A work unit is one cell of the sharded campaign space: slot 0 is a seed's
+// valid-stimuli phase, slots 1..5 are the seed's batch of one mutation
+// kind.  Units are independent by construction — each derives its own Rng
+// stream from (seed, slot) — which is what makes the reduction
+// order-independent and the engine deterministic under any thread count.
+constexpr std::size_t kSlotsPerSeed = 6;
+
 sim::Time end_of(const spec::Trace& t) {
   return t.empty() ? sim::Time::zero() : t.back().time;
 }
 
+// Everything a work unit needs, shared read-only across workers once
+// run_campaigns() has finished its setup (noise names pre-interned, ViaPSL
+// encodings materialized).
+struct CampaignJob {
+  const spec::Property* property = nullptr;
+  const psl::Encoding* encoding = nullptr;  // null unless check_viapsl
+};
+
+// Accumulator local to one shard; merged into the campaign result in shard
+// index order after the pool drains.
+struct ShardOutcome {
+  CampaignResult partial;
+  std::optional<AlphabetCoverage> alphabet;
+  std::optional<RecognizerCoverage> recognizer;
+};
+
+struct Shard {
+  std::size_t job = 0;
+  std::size_t unit_begin = 0;  // within the job's seeds×slots space
+  std::size_t unit_end = 0;
+};
+
+// The valid trace of seed `s` is a pure function of (first_seed + s): both
+// the valid phase and every mutation unit of the seed regenerate it from
+// stream 0, so no cross-unit state needs sharing.
+spec::Trace seed_trace(const CampaignJob& job, spec::Alphabet& ab,
+                       const CampaignOptions& options, std::size_t s) {
+  support::Rng rng = support::Rng::stream(options.first_seed + s, 0);
+  return generate_valid(*job.property, ab, rng, options.stimuli);
+}
+
+void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
+                    const CampaignOptions& options, std::size_t s,
+                    ShardOutcome& out) {
+  const spec::Property& property = *job.property;
+  const spec::Trace valid = seed_trace(job, ab, options, s);
+  ++out.partial.traces;
+  out.partial.events += valid.size();
+
+  auto monitor = mon::make_monitor(property);
+  std::optional<RecognizerCoverage> rec_cov;
+  if (property.is_antecedent()) {
+    rec_cov.emplace(static_cast<const mon::AntecedentMonitor&>(*monitor));
+  }
+  for (const auto& ev : valid) {
+    monitor->observe(ev.name, ev.time);
+    out.alphabet->record(ev.name);
+    if (rec_cov) rec_cov->sample();
+  }
+  monitor->finish(end_of(valid));
+  if (rec_cov) {
+    rec_cov->detach();  // outlives this unit's monitor from here on
+    if (out.recognizer) {
+      out.recognizer->merge(*rec_cov);
+    } else {
+      out.recognizer.emplace(std::move(*rec_cov));
+    }
+  }
+
+  const auto ref = spec::reference_check(property, valid, end_of(valid));
+  const bool monitor_ok = monitor->verdict() != mon::Verdict::Violated;
+  if (monitor_ok && !ref.rejected()) ++out.partial.valid_accepted;
+  if (monitor_ok == ref.rejected()) ++out.partial.oracle_disagreements;
+  out.partial.monitor_stats.merge(monitor->stats());
+
+  if (job.encoding != nullptr) {
+    psl::ClauseMonitor viapsl(*job.encoding);
+    for (const auto& ev : valid) viapsl.observe(ev.name, ev.time);
+    viapsl.finish(end_of(valid));
+    if (!ref.rejected() && viapsl.verdict() == mon::Verdict::Violated) {
+      ++out.partial.viapsl_false_alarms;
+    }
+    out.partial.monitor_stats.merge(viapsl.stats());
+  }
+}
+
+void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
+                       const CampaignOptions& options, std::size_t s,
+                       std::size_t slot, ShardOutcome& out) {
+  LOOM_DASSERT(slot >= 1 && slot < kSlotsPerSeed);
+  const spec::Property& property = *job.property;
+  const spec::Trace valid = seed_trace(job, ab, options, s);
+  const std::size_t k = slot - 1;
+  auto& stats = out.partial.mutation[k];
+  support::Rng rng = support::Rng::stream(options.first_seed + s, slot);
+  for (std::size_t m = 0; m < options.mutants_per_kind; ++m) {
+    auto mutant = mutate(valid, kAllKinds[k], property, rng);
+    if (!mutant) continue;
+    ++stats.applied;
+    const auto mref =
+        spec::reference_check(property, mutant->trace, end_of(mutant->trace));
+    if (!mref.rejected()) continue;
+    ++stats.invalid;
+    auto mmon = mon::make_monitor(property);
+    for (const auto& ev : mutant->trace) {
+      mmon->observe(ev.name, ev.time);
+    }
+    mmon->finish(end_of(mutant->trace));
+    if (mmon->verdict() == mon::Verdict::Violated) {
+      ++stats.detected;
+    } else {
+      ++stats.missed;
+    }
+    out.partial.monitor_stats.merge(mmon->stats());
+  }
+}
+
+void run_shard(const std::vector<CampaignJob>& jobs, spec::Alphabet& ab,
+               const CampaignOptions& options, const Shard& shard,
+               ShardOutcome& out) {
+  const CampaignJob& job = jobs[shard.job];
+  out.alphabet.emplace(job.property->alphabet());
+  // Workers share the one alphabet without locks or copies: setup
+  // pre-interned every name stimuli generation touches, and noise_pool()
+  // looks names up before interning, so generation is read-only here.
+  for (std::size_t u = shard.unit_begin; u < shard.unit_end; ++u) {
+    const std::size_t s = u / kSlotsPerSeed;
+    const std::size_t slot = u % kSlotsPerSeed;
+    if (slot == 0) {
+      run_valid_unit(job, ab, options, s, out);
+    } else {
+      run_mutation_unit(job, ab, options, s, slot, out);
+    }
+  }
+}
+
 }  // namespace
+
+std::vector<CampaignResult> run_campaigns(
+    const std::vector<const spec::Property*>& properties, spec::Alphabet& ab,
+    const CampaignOptions& options) {
+  // Setup runs serially on the caller: intern everything stimuli
+  // generation could lazily intern and materialize the ViaPSL encodings,
+  // so the alphabet is strictly read-only once workers share it.
+  pre_intern_stimuli_names(ab, options.stimuli);
+  std::vector<CampaignJob> jobs(properties.size());
+  std::vector<psl::Encoding> encodings;
+  encodings.reserve(properties.size());  // stable addresses for job pointers
+  for (std::size_t p = 0; p < properties.size(); ++p) {
+    jobs[p].property = properties[p];
+    if (options.check_viapsl) {
+      encodings.push_back(psl::encode(*properties[p], 2000000, &ab));
+      jobs[p].encoding = &encodings.back();
+    }
+  }
+
+  // Shard the flattened (property × seed × slot) space.  Shards never span
+  // properties so each merges into exactly one result.
+  std::size_t threads = options.threads != 0
+                            ? options.threads
+                            : std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t units_per_job = options.seeds * kSlotsPerSeed;
+  std::size_t shard_size = options.shard_size;
+  if (shard_size == 0) {
+    const std::size_t total_units = units_per_job * jobs.size();
+    shard_size = std::max<std::size_t>(1, total_units / (threads * 4));
+  }
+  std::vector<Shard> shards;
+  for (std::size_t p = 0; p < jobs.size(); ++p) {
+    for (std::size_t begin = 0; begin < units_per_job; begin += shard_size) {
+      shards.push_back(
+          {p, begin, std::min(units_per_job, begin + shard_size)});
+    }
+  }
+
+  std::vector<ShardOutcome> outcomes(shards.size());
+  if (threads <= 1 || shards.size() <= 1) {
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      run_shard(jobs, ab, options, shards[i], outcomes[i]);
+    }
+  } else {
+    support::ThreadPool pool(std::min(threads, shards.size()));
+    pool.for_each_index(shards.size(), [&](std::size_t i) {
+      run_shard(jobs, ab, options, shards[i], outcomes[i]);
+    });
+  }
+
+  // Merge in shard-index order, one pass over the shards.  Every reduction
+  // below is commutative and associative (sums, set unions, maxima), so
+  // the fixed order is not load-bearing for determinism — it just makes
+  // the bit-identity obvious.
+  std::vector<CampaignResult> results(jobs.size());
+  std::vector<AlphabetCoverage> alphabet_covs;
+  alphabet_covs.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    alphabet_covs.emplace_back(job.property->alphabet());
+  }
+  std::vector<std::optional<RecognizerCoverage>> rec_covs(jobs.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::size_t p = shards[i].job;
+    CampaignResult& result = results[p];
+    ShardOutcome& out = outcomes[i];
+    result.traces += out.partial.traces;
+    result.events += out.partial.events;
+    result.valid_accepted += out.partial.valid_accepted;
+    result.oracle_disagreements += out.partial.oracle_disagreements;
+    result.viapsl_false_alarms += out.partial.viapsl_false_alarms;
+    for (std::size_t k = 0; k < 5; ++k) {
+      result.mutation[k].merge(out.partial.mutation[k]);
+    }
+    result.monitor_stats.merge(out.partial.monitor_stats);
+    if (out.alphabet) alphabet_covs[p].merge(*out.alphabet);
+    if (out.recognizer) {
+      if (rec_covs[p]) {
+        rec_covs[p]->merge(*out.recognizer);
+      } else {
+        rec_covs[p].emplace(std::move(*out.recognizer));
+      }
+    }
+  }
+  for (std::size_t p = 0; p < jobs.size(); ++p) {
+    results[p].alphabet_coverage = alphabet_covs[p].ratio();
+    results[p].recognizer_state_coverage =
+        rec_covs[p] ? rec_covs[p]->state_ratio() : 1.0;
+  }
+  return results;
+}
 
 CampaignResult run_campaign(const spec::Property& property,
                             spec::Alphabet& ab,
                             const CampaignOptions& options) {
-  CampaignResult result;
-  AlphabetCoverage alphabet_cov(property.alphabet());
-  double recognizer_cov = 1.0;
-
-  std::optional<psl::Encoding> encoding;
-  if (options.check_viapsl) {
-    encoding = psl::encode(property, 2000000, &ab);
-  }
-
-  for (std::size_t s = 0; s < options.seeds; ++s) {
-    support::Rng rng(options.first_seed + s);
-    const spec::Trace valid =
-        generate_valid(property, ab, rng, options.stimuli);
-    ++result.traces;
-    result.events += valid.size();
-
-    // Valid stimuli through the Drct monitor (with coverage sampling for
-    // antecedents) and the oracle.
-    auto monitor = mon::make_monitor(property);
-    std::optional<RecognizerCoverage> rec_cov;
-    if (property.is_antecedent()) {
-      rec_cov.emplace(
-          static_cast<const mon::AntecedentMonitor&>(*monitor));
-    }
-    for (const auto& ev : valid) {
-      monitor->observe(ev.name, ev.time);
-      alphabet_cov.record(ev.name);
-      if (rec_cov) rec_cov->sample();
-    }
-    monitor->finish(end_of(valid));
-    if (rec_cov) recognizer_cov = rec_cov->state_ratio();
-
-    const auto ref = spec::reference_check(property, valid, end_of(valid));
-    const bool monitor_ok = monitor->verdict() != mon::Verdict::Violated;
-    if (monitor_ok && !ref.rejected()) ++result.valid_accepted;
-    if (monitor_ok == ref.rejected()) ++result.oracle_disagreements;
-
-    if (encoding) {
-      psl::ClauseMonitor viapsl(*encoding);
-      for (const auto& ev : valid) viapsl.observe(ev.name, ev.time);
-      viapsl.finish(end_of(valid));
-      if (!ref.rejected() && viapsl.verdict() == mon::Verdict::Violated) {
-        ++result.viapsl_false_alarms;
-      }
-    }
-
-    // Mutation phase.
-    for (std::size_t k = 0; k < 5; ++k) {
-      auto& stats = result.mutation[k];
-      for (std::size_t m = 0; m < options.mutants_per_kind; ++m) {
-        auto mutant = mutate(valid, kAllKinds[k], property, rng);
-        if (!mutant) continue;
-        ++stats.applied;
-        const auto mref = spec::reference_check(property, mutant->trace,
-                                                end_of(mutant->trace));
-        if (!mref.rejected()) continue;
-        ++stats.invalid;
-        auto mmon = mon::make_monitor(property);
-        for (const auto& ev : mutant->trace) {
-          mmon->observe(ev.name, ev.time);
-        }
-        mmon->finish(end_of(mutant->trace));
-        if (mmon->verdict() == mon::Verdict::Violated) {
-          ++stats.detected;
-        } else {
-          ++stats.missed;
-        }
-      }
-    }
-  }
-
-  result.alphabet_coverage = alphabet_cov.ratio();
-  result.recognizer_state_coverage = recognizer_cov;
-  return result;
+  return run_campaigns({&property}, ab, options)[0];
 }
 
 std::string CampaignResult::report(const spec::Alphabet&) const {
@@ -110,6 +264,12 @@ std::string CampaignResult::report(const spec::Alphabet&) const {
                 "coverage: alphabet %.0f%%, recognizer states %.0f%%\n",
                 alphabet_coverage * 100.0,
                 recognizer_state_coverage * 100.0);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "monitors: %llu ops over %llu events (worst %llu/event)\n",
+                static_cast<unsigned long long>(monitor_stats.ops),
+                static_cast<unsigned long long>(monitor_stats.events),
+                static_cast<unsigned long long>(monitor_stats.max_ops_per_event));
   out += buf;
   for (std::size_t k = 0; k < 5; ++k) {
     const auto& m = mutation[k];

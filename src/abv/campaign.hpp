@@ -6,13 +6,22 @@
 // are detected.  The result aggregates pass/fail counts, mutation-kill
 // statistics and structural coverage — the input the paper's "coverage
 // improver" would consume.
+//
+// The loop is embarrassingly parallel and the engine exploits that: the
+// (seed × property × mutation-kind) space is sharded into independent work
+// units, each drawing from its own support::Rng stream keyed by the unit
+// index, and per-shard results are merged with an order-independent
+// reduction.  A run with threads=N is bit-identical to the serial
+// threads=1 run — same counts, same coverage ratios, same report text.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "abv/coverage.hpp"
 #include "abv/mutate.hpp"
 #include "abv/stimuli.hpp"
+#include "mon/stats.hpp"
 
 namespace loom::abv {
 
@@ -22,6 +31,15 @@ struct CampaignOptions {
   StimuliOptions stimuli;           // rounds / noise per generated trace
   std::size_t mutants_per_kind = 10;
   bool check_viapsl = false;        // additionally run the ViaPSL monitor
+
+  /// Worker threads for the sharded engine: 1 runs the shards serially on
+  /// the calling thread, 0 asks the hardware, N>1 spins a work-stealing
+  /// pool.  The result does not depend on this knob.
+  std::size_t threads = 1;
+  /// Work units per shard (a unit is one seed's valid phase or one seed's
+  /// batch of one mutation kind); 0 picks a size that keeps every worker
+  /// busy.  The result does not depend on this knob either.
+  std::size_t shard_size = 0;
 };
 
 struct MutationStats {
@@ -29,6 +47,14 @@ struct MutationStats {
   std::size_t invalid = 0;    // reference rejected the mutant
   std::size_t detected = 0;   // Drct monitor rejected it too
   std::size_t missed = 0;     // reference rejected but the monitor did not
+
+  /// Order-independent shard reduction (all fields are sums).
+  void merge(const MutationStats& other) {
+    applied += other.applied;
+    invalid += other.invalid;
+    detected += other.detected;
+    missed += other.missed;
+  }
 };
 
 struct CampaignResult {
@@ -40,6 +66,10 @@ struct CampaignResult {
   MutationStats mutation[5];        // indexed by MutationKind
   double alphabet_coverage = 0.0;
   double recognizer_state_coverage = 0.0;  // antecedents only; else 1.0
+
+  /// Figure-6-style operation accounting summed over every monitor the
+  /// campaign ran (valid phases, mutants and ViaPSL checks alike).
+  mon::MonitorStats monitor_stats;
 
   /// A healthy campaign: monitors agree with the oracle everywhere, all
   /// valid traces pass, and no invalid mutant escapes detection.
@@ -58,5 +88,12 @@ struct CampaignResult {
 CampaignResult run_campaign(const spec::Property& property,
                             spec::Alphabet& ab,
                             const CampaignOptions& options);
+
+/// Batch form: one campaign per property, all sharded onto the same pool so
+/// short properties backfill the tail of long ones.  results[i] is
+/// bit-identical to run_campaign(*properties[i], ab, options).
+std::vector<CampaignResult> run_campaigns(
+    const std::vector<const spec::Property*>& properties, spec::Alphabet& ab,
+    const CampaignOptions& options);
 
 }  // namespace loom::abv

@@ -39,6 +39,17 @@ std::vector<Checker::Report> Checker::reports() const {
   return out;
 }
 
+mon::MonitorStats Checker::aggregate_stats() const {
+  mon::MonitorStats total;
+  for (const auto& e : entries_) total.merge(e.monitor->stats());
+  return total;
+}
+
+void Checker::absorb(Checker&& shard) {
+  for (auto& e : shard.entries_) entries_.push_back(std::move(e));
+  shard.entries_.clear();
+}
+
 std::string Checker::summary(const spec::Alphabet& ab) const {
   std::string out;
   for (const auto& e : entries_) {

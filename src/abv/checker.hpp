@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "mon/stats.hpp"
 #include "mon/verdict.hpp"
 #include "spec/reference.hpp"
 
@@ -44,6 +45,16 @@ class Checker {
 
   /// Multi-line human-readable summary.
   std::string summary(const spec::Alphabet& ab) const;
+
+  /// Figure-6-style accounting summed over every registered monitor (ops
+  /// and events add, max_ops_per_event is the worst across monitors).
+  mon::MonitorStats aggregate_stats() const;
+
+  /// Takes over every monitor of `shard`, appending its entries.  For
+  /// embedders that run one Checker per worker over disjoint trace sets
+  /// (the campaign engine itself merges plain counters instead, see
+  /// abv::run_campaigns) and want a single Checker to report on.
+  void absorb(Checker&& shard);
 
  private:
   struct Entry {

@@ -1,7 +1,10 @@
 #include "abv/coverage.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
+
+#include "support/diagnostics.hpp"
 
 namespace loom::abv {
 
@@ -32,6 +35,7 @@ RecognizerCoverage::RecognizerCoverage(const mon::AntecedentMonitor& monitor)
 }
 
 void RecognizerCoverage::sample() {
+  LOOM_DASSERT(monitor_ != nullptr);
   const auto& rec = monitor_->recognizer();
   for (std::size_t f = 0; f < rec.fragment_count(); ++f) {
     const auto& frag = rec.fragment(f);
@@ -41,6 +45,20 @@ void RecognizerCoverage::sample() {
       cov.state_mask |=
           static_cast<std::uint8_t>(1u << static_cast<unsigned>(child.state()));
       cov.max_count = std::max(cov.max_count, child.count());
+    }
+  }
+}
+
+void RecognizerCoverage::merge(const RecognizerCoverage& other) {
+  LOOM_DASSERT(per_fragment_.size() == other.per_fragment_.size());
+  for (std::size_t f = 0; f < per_fragment_.size(); ++f) {
+    LOOM_DASSERT(per_fragment_[f].size() == other.per_fragment_[f].size());
+    for (std::size_t r = 0; r < per_fragment_[f].size(); ++r) {
+      auto& cov = per_fragment_[f][r];
+      const auto& ocov = other.per_fragment_[f][r];
+      LOOM_DASSERT(cov.name == ocov.name);
+      cov.state_mask |= ocov.state_mask;
+      cov.max_count = std::max(cov.max_count, ocov.max_count);
     }
   }
 }

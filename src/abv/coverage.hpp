@@ -36,6 +36,9 @@ class AlphabetCoverage {
     m.subtract(seen_);
     return m;
   }
+  /// Order-independent union with another shard's coverage of the same
+  /// alphabet (campaign shards each record into their own instance).
+  void merge(const AlphabetCoverage& other) { seen_ |= other.seen_; }
   std::string report(const spec::Alphabet& ab) const;
 
  private:
@@ -50,6 +53,16 @@ class RecognizerCoverage {
   explicit RecognizerCoverage(const mon::AntecedentMonitor& monitor);
 
   void sample();
+
+  /// Drops the monitor binding.  Call before storing the coverage past the
+  /// monitor's lifetime (the campaign engine keeps merged coverage around
+  /// long after each seed's monitor is gone); sample() asserts against use
+  /// after detach, every other accessor keeps working.
+  void detach() { monitor_ = nullptr; }
+
+  /// Order-independent union with coverage sampled from another monitor of
+  /// the same property (state masks OR, block-length maxima take the max).
+  void merge(const RecognizerCoverage& other);
 
   /// Visited states over reachable states (6 per range recognizer).
   double state_ratio() const;

@@ -40,7 +40,15 @@ void emit_fragment(const spec::Fragment& f, Rng& rng,
 std::vector<spec::Name> noise_pool(spec::Alphabet& ab, std::size_t n) {
   std::vector<spec::Name> pool;
   for (std::size_t k = 0; k < n; ++k) {
-    pool.push_back(ab.name("zz_noise" + std::to_string(k)));
+    const std::string name = "zz_noise" + std::to_string(k);
+    // Lookup before interning: once the names exist (the campaign engine
+    // pre-interns them during setup), generation never writes the alphabet,
+    // which lets parallel workers share one instance without copies.
+    if (const auto id = ab.lookup(name)) {
+      pool.push_back(*id);
+    } else {
+      pool.push_back(ab.name(name));
+    }
   }
   return pool;
 }
@@ -55,6 +63,11 @@ std::uint64_t max_round_events(const spec::LooseOrdering& l) {
 }
 
 }  // namespace
+
+void pre_intern_stimuli_names(spec::Alphabet& ab,
+                              const StimuliOptions& options) {
+  noise_pool(ab, std::max<std::size_t>(1, options.noise_names));
+}
 
 spec::Trace generate_valid(const spec::Antecedent& a, spec::Alphabet& ab,
                            support::Rng& rng,

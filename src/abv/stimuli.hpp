@@ -23,6 +23,14 @@ struct StimuliOptions {
   std::uint64_t max_gap_ns = 20; // inter-event spacing (antecedents)
 };
 
+/// Interns every name generate_valid() may lazily intern (the noise pool)
+/// so that later generation runs are write-free on the alphabet.  The
+/// parallel campaign engine calls this once during setup and then shares
+/// one alphabet across workers; keep it in lockstep with the generator's
+/// naming scheme (it lives next to noise_pool() for exactly that reason).
+void pre_intern_stimuli_names(spec::Alphabet& ab,
+                              const StimuliOptions& options);
+
 /// Generates a trace satisfying the property.  The result is guaranteed
 /// accepted by the reference semantics (asserted in tests).
 spec::Trace generate_valid(const spec::Property& p, spec::Alphabet& ab,

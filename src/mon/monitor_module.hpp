@@ -13,6 +13,7 @@
 
 #include "mon/verdict.hpp"
 #include "sim/module.hpp"
+#include "spec/reference.hpp"
 
 namespace loom::mon {
 
@@ -24,6 +25,17 @@ class MonitorModule final : public sim::Module {
   /// Feeds an event stamped with the current simulation time.
   void observe(spec::Name name);
   void observe(spec::Name name, sim::Time time);
+
+  /// Batched fast path for recorded trace slices (see bench_throughput's
+  /// BM_MonitorModuleBatch for the per-event comparison): steps the
+  /// monitor back-to-back, stopping at the first violation, and runs the
+  /// violation-callback / watchdog bookkeeping once at the end of the
+  /// slice instead of per event.  Events carry their own timestamps, so
+  /// deadline overruns are still detected mid-slice; the callback firing
+  /// coalesces to the end of the batch, and on a violating slice the
+  /// MonitorStats counters cover only the events up to the violation
+  /// (unlike an observe() loop that keeps feeding afterwards).
+  void observe_batch(const spec::Trace& slice);
 
   /// Ends observation (typically at the end of simulation).
   void finish();

@@ -2,6 +2,14 @@
 
 namespace loom::mon {
 
+void MonitorStats::merge(const MonitorStats& other) {
+  ops += other.ops;
+  events += other.events;
+  if (other.max_ops_per_event > max_ops_per_event) {
+    max_ops_per_event = other.max_ops_per_event;
+  }
+}
+
 std::size_t bits_for_value(std::uint64_t max_value) {
   std::size_t bits = 0;
   while (max_value != 0) {

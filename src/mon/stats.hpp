@@ -39,6 +39,10 @@ struct MonitorStats {
   }
 
   void reset() { *this = MonitorStats{}; }
+
+  /// Order-independent aggregation across monitors / campaign shards: ops
+  /// and events add, the per-event worst case is the max of the two.
+  void merge(const MonitorStats& other);
 };
 
 }  // namespace loom::mon

@@ -1,0 +1,24 @@
+// Tiny positional-argument parsing shared by the bench / example mains.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace loom::support {
+
+/// Parses argv[index] as a positive count; anything that is not a plain
+/// positive decimal number (garbage, zero, negative, trailing junk, or a
+/// missing argument) yields `fallback`, so a sweep can never silently run
+/// with a nonsense parameter.
+inline std::size_t parse_count(int argc, char** argv, int index,
+                               std::size_t fallback) {
+  if (argc <= index) return fallback;
+  const char* text = argv[index];
+  if (text == nullptr || *text == '\0' || *text == '-') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0) return fallback;
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace loom::support

@@ -1,6 +1,18 @@
 #include "support/diagnostics.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace loom::support {
+
+#ifndef NDEBUG
+void debug_assert_fail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "%s:%d: debug assertion failed: %s\n", file, line,
+               expr);
+  std::abort();
+}
+#endif
+
 namespace {
 
 const char* severity_name(Severity s) {

@@ -9,6 +9,23 @@
 
 namespace loom::support {
 
+// Debug-only invariant checks (compiled out under NDEBUG): prints the
+// failing expression with its location and aborts.  Used for the internal
+// invariants of the thread pool and the shard-merge paths, where a silent
+// inconsistency would surface as nondeterminism far from its cause.
+#ifndef NDEBUG
+[[noreturn]] void debug_assert_fail(const char* file, int line,
+                                    const char* expr);
+#define LOOM_DASSERT(expr)                                           \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::loom::support::debug_assert_fail(__FILE__, __LINE__, #expr); \
+    }                                                                \
+  } while (false)
+#else
+#define LOOM_DASSERT(expr) static_cast<void>(0)
+#endif
+
 /// 1-based position inside a property source string.
 struct SourcePos {
   std::size_t line = 1;

@@ -15,6 +15,13 @@ std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) {
+  // Mix the stream index through splitmix64 before folding it into the
+  // seed so that low-entropy indices (0, 1, 2, ...) land far apart.
+  std::uint64_t x = stream_index + 0x632be59bd9b4e019ULL;
+  return Rng(seed ^ splitmix64(x));
+}
+
 Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(seed);
   // Avoid the all-zero state, which is a fixed point of xoshiro.

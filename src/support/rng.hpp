@@ -12,6 +12,12 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  /// Derives an independent reproducible stream: the same (seed, stream)
+  /// pair yields the same sequence no matter which thread consumes it, and
+  /// different stream indices decorrelate even for consecutive seeds.  The
+  /// parallel campaign engine keys streams by work-unit index.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_index);
+
   std::uint64_t next();
 
   /// Uniform value in [0, bound); bound must be > 0.

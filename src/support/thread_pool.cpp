@@ -1,0 +1,128 @@
+#include "support/thread_pool.hpp"
+
+namespace loom::support {
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  LOOM_DASSERT(queue_capacity > 0);
+  if (threads == 0) threads = 1;
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(sync_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  LOOM_DASSERT(queued_ == 0);
+}
+
+void ThreadPool::submit(Task task) {
+  LOOM_DASSERT(task != nullptr);
+  std::size_t target;
+  {
+    std::unique_lock<std::mutex> lock(sync_);
+    LOOM_DASSERT(!stopping_);
+    space_cv_.wait(lock, [this] { return queued_ < capacity_; });
+    ++queued_;
+    ++in_flight_;
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    Queue& q = *queues_[target];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    q.tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  // Own queue first, newest task (LIFO keeps the producing shard's data
+  // warm); then steal the oldest task of each sibling in turn.
+  {
+    Queue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    Task task;
+    if (!try_pop(self, task)) {
+      std::unique_lock<std::mutex> lock(sync_);
+      // queued_ > 0 with empty deques only in the instant between a
+      // submitter bumping the counter and pushing the task; re-scan.
+      if (queued_ > 0) continue;
+      if (stopping_) return;
+      work_cv_.wait(lock, [this] { return queued_ > 0 || stopping_; });
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(sync_);
+      LOOM_DASSERT(queued_ > 0);
+      --queued_;
+    }
+    space_cv_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(sync_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(sync_);
+      LOOM_DASSERT(in_flight_ > 0);
+      --in_flight_;
+      idle = in_flight_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(sync_);
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::for_each_index(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&body, i] { body(i); });
+  }
+  wait_idle();
+}
+
+}  // namespace loom::support

@@ -1,0 +1,81 @@
+// Work-stealing thread pool backing the parallel ABV campaign engine.
+//
+// One deque per worker: submit() round-robins tasks across the deques, a
+// worker pops from the back of its own deque (LIFO, cache-warm) and steals
+// from the front of a sibling's (FIFO, oldest first) when its own runs dry.
+// The amount of queued-but-unstarted work is bounded by `queue_capacity`;
+// submit() blocks when the pool is saturated, giving producers back-pressure
+// instead of unbounded memory growth.  The first exception thrown by any
+// task is captured and re-thrown from wait_idle() on the calling thread, so
+// a failing shard aborts a campaign instead of vanishing on a worker.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace loom::support {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `threads` workers (0 is promoted to 1); at most
+  /// `queue_capacity` tasks may sit unstarted across all deques.
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 4096);
+
+  /// Drains every queued task, joins the workers.  An exception captured
+  /// but never collected through wait_idle() is dropped here (destructors
+  /// must not throw).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; blocks while the pool is saturated.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished, then re-throws the
+  /// first exception any of them raised (if one did).
+  void wait_idle();
+
+  /// Convenience fan-out: runs body(i) for every i in [0, n), blocking
+  /// until all iterations finished (exceptions propagate like wait_idle).
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, Task& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sync_;                    // guards the counters below
+  std::condition_variable work_cv_;    // queued_ went up / stopping
+  std::condition_variable space_cv_;   // queued_ went down
+  std::condition_variable idle_cv_;    // in_flight_ hit zero
+  std::size_t capacity_ = 0;
+  std::size_t queued_ = 0;             // submitted, not yet dequeued
+  std::size_t in_flight_ = 0;          // submitted, not yet finished
+  std::size_t next_queue_ = 0;         // round-robin submit cursor
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace loom::support

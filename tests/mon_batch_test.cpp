@@ -1,0 +1,94 @@
+// MonitorModule::observe_batch contract: same verdict as the per-event
+// observe() path, violation callback exactly once, and the documented
+// early-stop on a violating slice.
+#include <gtest/gtest.h>
+
+#include "mon/monitors.hpp"
+#include "testing.hpp"
+
+namespace loom::mon {
+namespace {
+
+struct PathResult {
+  Verdict verdict = Verdict::Monitoring;
+  int callbacks = 0;
+  std::uint64_t monitor_events = 0;
+};
+
+PathResult run_per_event(const spec::Property& p, const spec::Alphabet& ab,
+                         const spec::Trace& trace) {
+  sim::Scheduler scheduler;
+  auto monitor = make_monitor(p);
+  MonitorModule module(scheduler, "per_event", *monitor, ab);
+  PathResult out;
+  module.on_violation([&out](const Violation&) { ++out.callbacks; });
+  for (const auto& ev : trace) module.observe(ev.name, ev.time);
+  out.verdict = monitor->verdict();
+  out.monitor_events = monitor->stats().events;
+  return out;
+}
+
+PathResult run_batch(const spec::Property& p, const spec::Alphabet& ab,
+                     const spec::Trace& trace) {
+  sim::Scheduler scheduler;
+  auto monitor = make_monitor(p);
+  MonitorModule module(scheduler, "batch", *monitor, ab);
+  PathResult out;
+  module.on_violation([&out](const Violation&) { ++out.callbacks; });
+  module.observe_batch(trace);
+  out.verdict = monitor->verdict();
+  out.monitor_events = monitor->stats().events;
+  return out;
+}
+
+TEST(MonitorModuleBatch, AgreesWithPerEventPathOnValidTrace) {
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(({a, b}, &) << s, true)", ab);
+  const spec::Trace trace = loom::testing::trace_of("a b s b a s", ab);
+  ASSERT_FALSE(spec::reference_check(p, trace, trace.back().time).rejected());
+
+  const PathResult per_event = run_per_event(p, ab, trace);
+  const PathResult batch = run_batch(p, ab, trace);
+  EXPECT_EQ(per_event.verdict, batch.verdict);
+  EXPECT_NE(batch.verdict, Verdict::Violated);
+  EXPECT_EQ(per_event.callbacks, 0);
+  EXPECT_EQ(batch.callbacks, 0);
+  // No violation → no early stop: both paths step every event.
+  EXPECT_EQ(per_event.monitor_events, batch.monitor_events);
+}
+
+TEST(MonitorModuleBatch, ViolatingSliceFiresCallbackExactlyOnce) {
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(({a, b}, &) << s, true)", ab);
+  // Trigger fires before b completes the fragment: an invalid trace.
+  const spec::Trace trace = loom::testing::trace_of("a s", ab);
+  ASSERT_TRUE(spec::reference_check(p, trace, trace.back().time).rejected());
+
+  const PathResult per_event = run_per_event(p, ab, trace);
+  const PathResult batch = run_batch(p, ab, trace);
+  EXPECT_EQ(per_event.verdict, Verdict::Violated);
+  EXPECT_EQ(batch.verdict, Verdict::Violated);
+  EXPECT_EQ(per_event.callbacks, 1);
+  EXPECT_EQ(batch.callbacks, 1);
+}
+
+TEST(MonitorModuleBatch, StopsSteppingAtTheViolation) {
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(({a, b}, &) << s, true)", ab);
+  // Violation at the second event, then a long valid-looking tail: the
+  // batch path must not keep feeding the dead monitor (documented early
+  // stop — its stats cover only events up to the violation).
+  const spec::Trace trace =
+      loom::testing::trace_of("a s a b s a b s a b s", ab);
+
+  const PathResult per_event = run_per_event(p, ab, trace);
+  const PathResult batch = run_batch(p, ab, trace);
+  EXPECT_EQ(per_event.verdict, batch.verdict);
+  EXPECT_EQ(batch.verdict, Verdict::Violated);
+  EXPECT_EQ(batch.callbacks, 1);
+  EXPECT_EQ(batch.monitor_events, 2u);
+  EXPECT_EQ(per_event.monitor_events, trace.size());
+}
+
+}  // namespace
+}  // namespace loom::mon
