@@ -130,6 +130,32 @@ void BM_CampaignSharded(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+void BM_CampaignMutationHeavy(benchmark::State& state) {
+  // Mutation-heavy campaign, cached+batched vs legacy: six units per seed
+  // share one valid trace, so the per-seed cache amortizes stimuli
+  // generation 6× and mutants replay through the batched MonitorModule
+  // path.  Both runs produce bit-identical results (enforced by
+  // campaign_replay_diff_test); only the wall clock differs.
+  const bool cached = state.range(0) != 0;
+  Fixture fx(kConfig[2], 4);
+  abv::CampaignOptions opt;
+  opt.seeds = 64;
+  opt.stimuli.rounds = 16;  // long traces: regeneration is the hot path
+  opt.mutants_per_kind = 4;
+  opt.threads = 1;
+  opt.reuse_traces = cached;
+  opt.batch_replay = cached;
+  std::uint64_t monitor_events = 0;
+  for (auto _ : state) {
+    const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    monitor_events += r.monitor_stats.events;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetLabel(cached ? "reuse_traces+batch_replay" : "legacy");
+}
+BENCHMARK(BM_CampaignMutationHeavy)->Arg(0)->Arg(1)->UseRealTime();
+
 void BM_MonitorModulePerEvent(benchmark::State& state) {
   // In-simulation stepping, one observe() per event: every step pays the
   // violation-callback check and the watchdog re-arm.

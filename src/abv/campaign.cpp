@@ -7,7 +7,9 @@
 
 #include "mon/monitors.hpp"
 #include "psl/clause_monitor.hpp"
+#include "sim/scheduler.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace_cache.hpp"
 
 namespace loom::abv {
 namespace {
@@ -33,7 +35,14 @@ sim::Time end_of(const spec::Trace& t) {
 struct CampaignJob {
   const spec::Property* property = nullptr;
   const psl::Encoding* encoding = nullptr;  // null unless check_viapsl
+  std::size_t index = 0;  // position in run_campaigns' property list
 };
+
+// Per-seed valid-trace cache shared by every worker of one run_campaigns()
+// call: keyed by (job, seed) so batch runs over several properties never
+// alias, generated on first touch by whichever of the seed's six units gets
+// there first.
+using SeedTraceCache = support::TraceCache<spec::Trace>;
 
 // Accumulator local to one shard; merged into the campaign result in shard
 // index order after the pool drains.
@@ -58,11 +67,39 @@ spec::Trace seed_trace(const CampaignJob& job, spec::Alphabet& ab,
   return generate_valid(*job.property, ab, rng, options.stimuli);
 }
 
+// Hands out the seed's valid trace: from the shared cache when trace reuse
+// is on (whichever unit asks first generates and inserts, the rest hit),
+// regenerated into `local` otherwise.  Cached or not, the bytes are the
+// same — the trace is a pure function of (first_seed + s).
+const spec::Trace& obtain_seed_trace(const CampaignJob& job,
+                                     spec::Alphabet& ab,
+                                     const CampaignOptions& options,
+                                     std::size_t s, SeedTraceCache* cache,
+                                     ShardOutcome& out, spec::Trace& local) {
+  if (cache == nullptr) {
+    local = seed_trace(job, ab, options, s);
+    return local;
+  }
+  bool inserted = false;
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(job.index) * options.seeds + s;
+  const spec::Trace& valid = cache->get_or_emplace(
+      key, [&] { return seed_trace(job, ab, options, s); }, &inserted);
+  if (inserted) {
+    ++out.partial.trace_cache_misses;
+  } else {
+    ++out.partial.trace_cache_hits;
+  }
+  return valid;
+}
+
 void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
                     const CampaignOptions& options, std::size_t s,
-                    ShardOutcome& out) {
+                    SeedTraceCache* cache, ShardOutcome& out) {
   const spec::Property& property = *job.property;
-  const spec::Trace valid = seed_trace(job, ab, options, s);
+  spec::Trace local;
+  const spec::Trace& valid =
+      obtain_seed_trace(job, ab, options, s, cache, out, local);
   ++out.partial.traces;
   out.partial.events += valid.size();
 
@@ -105,10 +142,13 @@ void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
 
 void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
                        const CampaignOptions& options, std::size_t s,
-                       std::size_t slot, ShardOutcome& out) {
+                       std::size_t slot, SeedTraceCache* cache,
+                       ShardOutcome& out) {
   LOOM_DASSERT(slot >= 1 && slot < kSlotsPerSeed);
   const spec::Property& property = *job.property;
-  const spec::Trace valid = seed_trace(job, ab, options, s);
+  spec::Trace local;
+  const spec::Trace& valid =
+      obtain_seed_trace(job, ab, options, s, cache, out, local);
   const std::size_t k = slot - 1;
   auto& stats = out.partial.mutation[k];
   support::Rng rng = support::Rng::stream(options.first_seed + s, slot);
@@ -121,8 +161,19 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
     if (!mref.rejected()) continue;
     ++stats.invalid;
     auto mmon = mon::make_monitor(property);
-    for (const auto& ev : mutant->trace) {
-      mmon->observe(ev.name, ev.time);
+    if (options.batch_replay) {
+      // In-simulation replay host, scoped per mutant: the kernel only
+      // supplies the watchdog queue, which is never pumped — deadline
+      // checks happen in finish(), exactly as on the per-event path — and
+      // whatever the module armed dies with it right here.
+      sim::Scheduler replay_sched;
+      mon::MonitorModule module(replay_sched, "replay", *mmon, ab);
+      module.observe_batch(mutant->trace,
+                           mon::MonitorModule::BatchPolicy::ReplayAll);
+    } else {
+      for (const auto& ev : mutant->trace) {
+        mmon->observe(ev.name, ev.time);
+      }
     }
     mmon->finish(end_of(mutant->trace));
     if (mmon->verdict() == mon::Verdict::Violated) {
@@ -136,7 +187,7 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
 
 void run_shard(const std::vector<CampaignJob>& jobs, spec::Alphabet& ab,
                const CampaignOptions& options, const Shard& shard,
-               ShardOutcome& out) {
+               SeedTraceCache* cache, ShardOutcome& out) {
   const CampaignJob& job = jobs[shard.job];
   out.alphabet.emplace(job.property->alphabet());
   // Workers share the one alphabet without locks or copies: setup
@@ -146,9 +197,9 @@ void run_shard(const std::vector<CampaignJob>& jobs, spec::Alphabet& ab,
     const std::size_t s = u / kSlotsPerSeed;
     const std::size_t slot = u % kSlotsPerSeed;
     if (slot == 0) {
-      run_valid_unit(job, ab, options, s, out);
+      run_valid_unit(job, ab, options, s, cache, out);
     } else {
-      run_mutation_unit(job, ab, options, s, slot, out);
+      run_mutation_unit(job, ab, options, s, slot, cache, out);
     }
   }
 }
@@ -167,6 +218,7 @@ std::vector<CampaignResult> run_campaigns(
   encodings.reserve(properties.size());  // stable addresses for job pointers
   for (std::size_t p = 0; p < properties.size(); ++p) {
     jobs[p].property = properties[p];
+    jobs[p].index = p;
     if (options.check_viapsl) {
       encodings.push_back(psl::encode(*properties[p], 2000000, &ab));
       jobs[p].encoding = &encodings.back();
@@ -193,14 +245,17 @@ std::vector<CampaignResult> run_campaigns(
   }
 
   std::vector<ShardOutcome> outcomes(shards.size());
+  std::optional<SeedTraceCache> trace_cache;
+  if (options.reuse_traces) trace_cache.emplace(/*shard_count=*/4 * threads);
+  SeedTraceCache* cache = trace_cache ? &*trace_cache : nullptr;
   if (threads <= 1 || shards.size() <= 1) {
     for (std::size_t i = 0; i < shards.size(); ++i) {
-      run_shard(jobs, ab, options, shards[i], outcomes[i]);
+      run_shard(jobs, ab, options, shards[i], cache, outcomes[i]);
     }
   } else {
     support::ThreadPool pool(std::min(threads, shards.size()));
     pool.for_each_index(shards.size(), [&](std::size_t i) {
-      run_shard(jobs, ab, options, shards[i], outcomes[i]);
+      run_shard(jobs, ab, options, shards[i], cache, outcomes[i]);
     });
   }
 
@@ -228,6 +283,8 @@ std::vector<CampaignResult> run_campaigns(
       result.mutation[k].merge(out.partial.mutation[k]);
     }
     result.monitor_stats.merge(out.partial.monitor_stats);
+    result.trace_cache_hits += out.partial.trace_cache_hits;
+    result.trace_cache_misses += out.partial.trace_cache_misses;
     if (out.alphabet) alphabet_covs[p].merge(*out.alphabet);
     if (out.recognizer) {
       if (rec_covs[p]) {

@@ -40,6 +40,17 @@ struct CampaignOptions {
   /// batch of one mutation kind); 0 picks a size that keeps every worker
   /// busy.  The result does not depend on this knob either.
   std::size_t shard_size = 0;
+
+  /// Generate each seed's valid trace once into a concurrent per-seed
+  /// cache (support::TraceCache) and share it across the seed's six work
+  /// units, instead of regenerating it per unit.  The trace is a pure
+  /// function of the seed, so this knob cannot change the result — the
+  /// differential tests hold the engine to that.
+  bool reuse_traces = true;
+  /// Replay each mutant through MonitorModule::observe_batch (one batched
+  /// call per mutant, ReplayAll policy) instead of a raw per-event
+  /// observe() loop.  Result-neutral by the same contract.
+  bool batch_replay = true;
 };
 
 struct MutationStats {
@@ -70,6 +81,14 @@ struct CampaignResult {
   /// Figure-6-style operation accounting summed over every monitor the
   /// campaign ran (valid phases, mutants and ViaPSL checks alike).
   mon::MonitorStats monitor_stats;
+
+  /// Per-seed trace cache accounting (both 0 with reuse_traces off).  The
+  /// split is deterministic — exactly one miss per seed, every other unit
+  /// of that seed hits, regardless of thread count — but it is engine
+  /// diagnostics, not part of the semantic result: report() excludes it
+  /// and the differential tests compare it separately.
+  std::size_t trace_cache_hits = 0;
+  std::size_t trace_cache_misses = 0;
 
   /// A healthy campaign: monitors agree with the oracle everywhere, all
   /// valid traces pass, and no invalid mutant escapes detection.

@@ -1,8 +1,15 @@
 #include "abv/trace.hpp"
 
 #include <sstream>
+#include <type_traits>
 
 namespace loom::abv {
+
+void attach(sim::TraceCapture& capture, TraceRecorder& recorder) {
+  static_assert(std::is_same_v<sim::TraceCapture::Id, spec::Name>,
+                "capture ids are interned names");
+  capture.add_sink(recorder.sink());
+}
 
 std::string to_text(const spec::Trace& trace, const spec::Alphabet& ab) {
   std::string out;

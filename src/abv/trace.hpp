@@ -2,10 +2,13 @@
 // recorder used by the platform observation adapters.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 
+#include "sim/trace_capture.hpp"
 #include "spec/reference.hpp"
 #include "support/diagnostics.hpp"
 
@@ -19,18 +22,32 @@ std::optional<spec::Trace> from_text(std::string_view text,
                                      spec::Alphabet& ab,
                                      support::DiagnosticSink& sink);
 
-/// Accumulates observed events (e.g. from a TLM observation adapter) for
-/// later replay against monitors or the reference checker.
+/// Accumulates observed events (e.g. from a TLM observation adapter or a
+/// sim::TraceCapture) for later replay against monitors or the reference
+/// checker.
 class TraceRecorder {
  public:
   void record(spec::Name name, sim::Time time) {
     trace_.push_back({name, time});
   }
   const spec::Trace& trace() const { return trace_; }
+  /// Moves the recorded trace out, leaving the recorder empty.
+  spec::Trace take() { return std::exchange(trace_, {}); }
   void clear() { trace_.clear(); }
+
+  /// Sink form of record(), for observer-style event sources
+  /// (IpuObserver::add_sink, sim::TraceCapture::add_sink).
+  std::function<void(spec::Name, sim::Time)> sink() {
+    return [this](spec::Name name, sim::Time time) { record(name, time); };
+  }
 
  private:
   spec::Trace trace_;
 };
+
+/// Feeds every event a capture sees into the recorder (capture ids are the
+/// interned spec::Name values, see sim::TraceCapture).  The recorder must
+/// outlive the capture's use.
+void attach(sim::TraceCapture& capture, TraceRecorder& recorder);
 
 }  // namespace loom::abv

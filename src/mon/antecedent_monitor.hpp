@@ -18,6 +18,9 @@ class AntecedentMonitor final : public Monitor {
   explicit AntecedentMonitor(spec::Antecedent property);
 
   void observe(spec::Name name, sim::Time time) override;
+  void observe_batch(const spec::Trace& slice) override {
+    for (const auto& ev : slice) observe(ev.name, ev.time);  // devirtualized
+  }
   void finish(sim::Time end_time) override;
 
   Verdict verdict() const override { return verdict_; }

@@ -18,12 +18,17 @@ void MonitorModule::observe(spec::Name name, sim::Time time) {
   after_step();
 }
 
-void MonitorModule::observe_batch(const spec::Trace& slice) {
-  for (const auto& ev : slice) {
-    monitor_.observe(ev.name, ev.time);
-    // Stop stepping once violated: the remaining slice cannot un-violate
-    // the monitor and the violation report should point at its cause.
-    if (monitor_.verdict() == Verdict::Violated) break;
+void MonitorModule::observe_batch(const spec::Trace& slice,
+                                  BatchPolicy policy) {
+  if (policy == BatchPolicy::ReplayAll) {
+    monitor_.observe_batch(slice);
+  } else {
+    for (const auto& ev : slice) {
+      monitor_.observe(ev.name, ev.time);
+      // Stop stepping once violated: the remaining slice cannot un-violate
+      // the monitor and the violation report should point at its cause.
+      if (monitor_.verdict() == Verdict::Violated) break;
+    }
   }
   after_step();
 }

@@ -22,20 +22,40 @@ class MonitorModule final : public sim::Module {
   MonitorModule(sim::Scheduler& scheduler, std::string name, Monitor& monitor,
                 const spec::Alphabet& alphabet, sim::Module* parent = nullptr);
 
+  /// Disarms a still-pending watchdog: a queued entry must never outlive
+  /// the module it captures (the campaign's replay modules die long before
+  /// their scheduler would drain).
+  ~MonitorModule() override {
+    if (watchdog_token_ != nullptr) *watchdog_token_ = true;
+  }
+
   /// Feeds an event stamped with the current simulation time.
   void observe(spec::Name name);
   void observe(spec::Name name, sim::Time time);
 
+  /// How observe_batch treats the tail of a violating slice.
+  enum class BatchPolicy {
+    /// Stop stepping at the first violation: the violation report points
+    /// at its cause and the MonitorStats counters cover only the events up
+    /// to it (unlike an observe() loop that keeps feeding afterwards).
+    StopAtViolation,
+    /// Step every event, violated or not, through the monitor's own
+    /// devirtualized Monitor::observe_batch — verdict and stats land
+    /// bit-identical to a per-event observe() loop.  The campaign engine
+    /// replays cached mutant traces this way so its batched path stays
+    /// indistinguishable from the legacy one.
+    ReplayAll,
+  };
+
   /// Batched fast path for recorded trace slices (see bench_throughput's
   /// BM_MonitorModuleBatch for the per-event comparison): steps the
-  /// monitor back-to-back, stopping at the first violation, and runs the
-  /// violation-callback / watchdog bookkeeping once at the end of the
-  /// slice instead of per event.  Events carry their own timestamps, so
-  /// deadline overruns are still detected mid-slice; the callback firing
-  /// coalesces to the end of the batch, and on a violating slice the
-  /// MonitorStats counters cover only the events up to the violation
-  /// (unlike an observe() loop that keeps feeding afterwards).
-  void observe_batch(const spec::Trace& slice);
+  /// monitor back-to-back and runs the violation-callback / watchdog
+  /// bookkeeping once at the end of the slice instead of per event.
+  /// Events carry their own timestamps, so deadline overruns are still
+  /// detected mid-slice; the callback firing coalesces to the end of the
+  /// batch.
+  void observe_batch(const spec::Trace& slice,
+                     BatchPolicy policy = BatchPolicy::StopAtViolation);
 
   /// Ends observation (typically at the end of simulation).
   void finish();

@@ -25,6 +25,9 @@ class TimedImplicationMonitor final : public Monitor {
   explicit TimedImplicationMonitor(spec::TimedImplication property);
 
   void observe(spec::Name name, sim::Time time) override;
+  void observe_batch(const spec::Trace& slice) override {
+    for (const auto& ev : slice) observe(ev.name, ev.time);  // devirtualized
+  }
   void finish(sim::Time end_time) override;
   void poll(sim::Time now) override;
   std::optional<sim::Time> deadline() const override {

@@ -4,6 +4,10 @@
 
 namespace loom::mon {
 
+void Monitor::observe_batch(const spec::Trace& slice) {
+  for (const auto& ev : slice) observe(ev.name, ev.time);
+}
+
 const char* to_string(Verdict v) {
   switch (v) {
     case Verdict::Monitoring: return "monitoring";

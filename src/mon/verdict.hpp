@@ -7,6 +7,7 @@
 
 #include "sim/time.hpp"
 #include "spec/alphabet.hpp"
+#include "spec/reference.hpp"
 
 namespace loom::mon {
 
@@ -38,6 +39,13 @@ class Monitor {
 
   /// Feeds one observed interface event.
   virtual void observe(spec::Name name, sim::Time time) = 0;
+  /// Steps a recorded trace slice back-to-back.  Semantically identical to
+  /// calling observe() once per event — same verdict, same stats, every
+  /// event stepped even past a violation — the concrete monitors merely
+  /// override it to skip the per-event virtual dispatch.  Replay paths
+  /// (MonitorModule::BatchPolicy::ReplayAll, the campaign engine) lean on
+  /// that equivalence for their bit-identity guarantees.
+  virtual void observe_batch(const spec::Trace& slice);
   /// Signals end of observation at `end_time` (deadline checks).
   virtual void finish(sim::Time end_time) { (void)end_time; }
   /// Time-triggered check between events (in-simulation watchdogs).

@@ -34,6 +34,12 @@ IpuObserver::IpuObserver(Ipu& ipu, const IpuInterface& names,
   ipu.add_irq_tap([this] { emit(names_.set_irq); });
 }
 
+void IpuObserver::attach(sim::TraceCapture& capture) {
+  add_sink([&capture](spec::Name name, sim::Time time) {
+    capture.capture(name, time);
+  });
+}
+
 void IpuObserver::emit(spec::Name name) {
   ++count_;
   const sim::Time t = now_();

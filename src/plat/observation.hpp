@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "plat/ipu.hpp"
+#include "sim/trace_capture.hpp"
 #include "spec/alphabet.hpp"
 
 namespace loom::plat {
@@ -38,6 +39,11 @@ class IpuObserver {
 
   /// Adds a sink receiving every observed interface event.
   void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Routes every observed event through a kernel-level capture (ids are
+  /// the interned spec::Name values); the capture's own sinks — monitor
+  /// modules, abv::TraceRecorder via abv::attach() — see them from there.
+  void attach(sim::TraceCapture& capture);
 
   std::uint64_t events_observed() const { return count_; }
 

@@ -1,0 +1,18 @@
+#include "sim/trace_capture.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace loom::sim {
+
+void TraceCapture::capture(Id id) {
+  LOOM_DASSERT(scheduler_ != nullptr);
+  capture(id, scheduler_->now());
+}
+
+void TraceCapture::capture(Id id, Time time) {
+  ++count_;
+  if (buffering_) events_.push_back({id, time});
+  for (const auto& sink : sinks_) sink(id, time);
+}
+
+}  // namespace loom::sim

@@ -1,0 +1,74 @@
+// Kernel-level trace capture: records (id, time) interface events as they
+// happen during a simulation run.
+//
+// The sim layer knows nothing about property alphabets, so events are
+// identified by a dense 32-bit id — the plat observation adapters feed
+// their interned spec::Name values straight through (spec::Name is the
+// same underlying type), and abv::TraceRecorder consumes the capture on
+// the other side to build a replayable spec::Trace.  A capture buffers the
+// events it sees and fans them out to any number of sinks; when bound to a
+// Scheduler it stamps unstamped events with the kernel's current time,
+// mirroring how MonitorModule stamps observations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace loom::sim {
+
+class TraceCapture {
+ public:
+  /// Dense event id; the plat adapters use interned spec::Name values.
+  using Id = std::uint32_t;
+
+  struct Captured {
+    Id id = 0;
+    Time time;
+
+    bool operator==(const Captured&) const = default;
+  };
+
+  using Sink = std::function<void(Id, Time)>;
+
+  /// Free-standing capture: every event must carry its own stamp.
+  TraceCapture() = default;
+
+  /// Scheduler-bound capture: capture(id) stamps with scheduler.now().
+  explicit TraceCapture(const Scheduler& scheduler)
+      : scheduler_(&scheduler) {}
+
+  /// Records an event at the kernel's current time (requires a bound
+  /// scheduler).
+  void capture(Id id);
+
+  /// Records an event with an explicit stamp.
+  void capture(Id id, Time time);
+
+  /// Adds a sink that sees every subsequent event (already-buffered events
+  /// are not replayed into it).
+  void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Toggles the internal buffer.  Sinks always fire; with buffering off a
+  /// capture is a pure fan-out stage and events() stays empty.
+  void set_buffering(bool on) { buffering_ = on; }
+  bool buffering() const { return buffering_; }
+
+  const std::vector<Captured>& events() const { return events_; }
+  std::uint64_t captured_count() const { return count_; }
+
+  /// Drops the buffered events (the total count keeps running).
+  void clear() { events_.clear(); }
+
+ private:
+  const Scheduler* scheduler_ = nullptr;
+  std::vector<Captured> events_;
+  std::vector<Sink> sinks_;
+  std::uint64_t count_ = 0;
+  bool buffering_ = true;
+};
+
+}  // namespace loom::sim

@@ -1,0 +1,114 @@
+// Concurrent, insert-only, per-seed cache for recorded traces.
+//
+// The parallel campaign engine runs six work units per seed (the valid
+// phase plus five mutation kinds) and every one of them needs the seed's
+// valid trace.  The trace is a pure function of the seed, so the first
+// unit to ask generates it once and the other five reuse the stored copy.
+// The cache is sharded by a mixed key hash: each shard is an independent
+// mutex + hash map, so units of different seeds almost never contend, and
+// values are heap-allocated so the returned references stay stable across
+// rehashes for the cache's whole lifetime (entries are never removed).
+//
+// The factory for a key runs under its shard's lock, which gives
+// exactly-once generation per key: concurrent get_or_emplace() calls for
+// the same seed serialize, one runs the factory, the rest observe the
+// inserted value.  Per-shard hit/miss counters are relaxed atomics — they
+// are accounting, not synchronization — and stats() sums them.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace loom::support {
+
+template <typename Trace>
+class TraceCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;    // lookups that found an existing entry
+    std::uint64_t misses = 0;  // lookups that ran the factory (== inserts)
+
+    std::uint64_t lookups() const { return hits + misses; }
+  };
+
+  /// `shard_count` is rounded up to a power of two (minimum 1).
+  explicit TraceCache(std::size_t shard_count = 16) {
+    std::size_t n = 1;
+    while (n < shard_count) n <<= 1;
+    mask_ = n - 1;
+    shards_ = std::make_unique<Shard[]>(n);
+  }
+
+  TraceCache(const TraceCache&) = delete;
+  TraceCache& operator=(const TraceCache&) = delete;
+
+  /// Returns the cached trace for `key`, running `make()` to produce it on
+  /// first sight.  The reference stays valid for the cache's lifetime.
+  /// When `inserted` is non-null it is set to whether this call ran the
+  /// factory (miss) or found an existing entry (hit).
+  template <typename Factory>
+  const Trace& get_or_emplace(std::uint64_t key, Factory&& make,
+                              bool* inserted = nullptr) {
+    Shard& shard = shards_[mix(key) & mask_];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      if (inserted != nullptr) *inserted = false;
+      return *it->second;
+    }
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    if (inserted != nullptr) *inserted = true;
+    auto value = std::make_unique<Trace>(std::forward<Factory>(make)());
+    return *shard.entries.emplace(key, std::move(value)).first->second;
+  }
+
+  /// Sums the per-shard counters.  Exact once concurrent users quiesce
+  /// (e.g. after ThreadPool::wait_idle()); a snapshot before that.
+  Stats stats() const {
+    Stats total;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      total.hits += shards_[i].hits.load(std::memory_order_relaxed);
+      total.misses += shards_[i].misses.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Number of cached entries (== stats().misses once quiescent).
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[i].mutex);
+      n += shards_[i].entries.size();
+    }
+    return n;
+  }
+
+  std::size_t shard_count() const { return mask_ + 1; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Trace>> entries;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+  };
+
+  // splitmix64 finalizer: sequential seeds land on different shards.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace loom::support

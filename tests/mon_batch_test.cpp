@@ -90,5 +90,52 @@ TEST(MonitorModuleBatch, StopsSteppingAtTheViolation) {
   EXPECT_EQ(per_event.monitor_events, trace.size());
 }
 
+TEST(MonitorModuleBatch, ReplayAllMatchesPerEventStatsExactly) {
+  // The campaign's replay policy: every event stepped even past the
+  // violation, so verdict AND stats land bit-identical to an observe()
+  // loop — the equivalence the cached-replay differential tests build on.
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(({a, b}, &) << s, true)", ab);
+  const spec::Trace traces[] = {
+      loom::testing::trace_of("a b s b a s", ab),        // valid
+      loom::testing::trace_of("a s a b s a b s a b s", ab),  // violating
+  };
+  for (const auto& trace : traces) {
+    const PathResult per_event = run_per_event(p, ab, trace);
+
+    sim::Scheduler scheduler;
+    auto monitor = make_monitor(p);
+    MonitorModule module(scheduler, "replay_all", *monitor, ab);
+    int callbacks = 0;
+    module.on_violation([&callbacks](const Violation&) { ++callbacks; });
+    module.observe_batch(trace, MonitorModule::BatchPolicy::ReplayAll);
+
+    EXPECT_EQ(monitor->verdict(), per_event.verdict);
+    EXPECT_EQ(callbacks, per_event.callbacks);
+    EXPECT_EQ(monitor->stats().events, per_event.monitor_events);
+    EXPECT_EQ(monitor->stats().events, trace.size());
+  }
+}
+
+TEST(MonitorModuleBatch, MonitorLevelBatchIsObservationallyPerEvent) {
+  // Monitor::observe_batch (the devirtualized override every monitor kind
+  // carries) must be indistinguishable from an observe() loop, ops
+  // accounting included.
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(p[2,3] => q[1,4] < r, 10us)", ab);
+  const spec::Trace trace = loom::testing::trace_of("p p q q r p p q r", ab);
+
+  auto looped = make_monitor(p);
+  for (const auto& ev : trace) looped->observe(ev.name, ev.time);
+  auto batched = make_monitor(p);
+  batched->observe_batch(trace);
+
+  EXPECT_EQ(batched->verdict(), looped->verdict());
+  EXPECT_EQ(batched->stats().events, looped->stats().events);
+  EXPECT_EQ(batched->stats().ops, looped->stats().ops);
+  EXPECT_EQ(batched->stats().max_ops_per_event,
+            looped->stats().max_ops_per_event);
+}
+
 }  // namespace
 }  // namespace loom::mon

@@ -1,0 +1,75 @@
+// Kernel-level trace capture: buffered events, sink fan-out, scheduler
+// time stamping, and the buffering toggle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/trace_capture.hpp"
+
+namespace loom::sim {
+namespace {
+
+TEST(TraceCapture, BuffersExplicitlyStampedEvents) {
+  TraceCapture capture;
+  capture.capture(3, Time::ns(5));
+  capture.capture(1, Time::ns(5));
+  capture.capture(2, Time::us(1));
+
+  const std::vector<TraceCapture::Captured> expected = {
+      {3, Time::ns(5)}, {1, Time::ns(5)}, {2, Time::us(1)}};
+  EXPECT_EQ(capture.events(), expected);
+  EXPECT_EQ(capture.captured_count(), 3u);
+
+  capture.clear();
+  EXPECT_TRUE(capture.events().empty());
+  EXPECT_EQ(capture.captured_count(), 3u) << "clear keeps the running count";
+}
+
+TEST(TraceCapture, StampsWithTheSchedulersCurrentTime) {
+  Scheduler scheduler;
+  TraceCapture capture(scheduler);
+  scheduler.schedule_at(Time::ns(10), [&] { capture.capture(1); });
+  scheduler.schedule_at(Time::ns(30), [&] { capture.capture(2); });
+  scheduler.schedule_at(Time::ns(30), [&] { capture.capture(3); });
+  scheduler.run();
+
+  const std::vector<TraceCapture::Captured> expected = {
+      {1, Time::ns(10)}, {2, Time::ns(30)}, {3, Time::ns(30)}};
+  EXPECT_EQ(capture.events(), expected);
+}
+
+TEST(TraceCapture, FansOutToEverySink) {
+  TraceCapture capture;
+  std::vector<TraceCapture::Captured> first, second;
+  capture.add_sink([&](TraceCapture::Id id, Time t) {
+    first.push_back({id, t});
+  });
+  capture.capture(1, Time::ns(1));
+  // A sink added later sees only subsequent events.
+  capture.add_sink([&](TraceCapture::Id id, Time t) {
+    second.push_back({id, t});
+  });
+  capture.capture(2, Time::ns(2));
+
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], (TraceCapture::Captured{2, Time::ns(2)}));
+  EXPECT_EQ(capture.events().size(), 2u);
+}
+
+TEST(TraceCapture, BufferingOffKeepsSinksAndCountWorking) {
+  TraceCapture capture;
+  capture.set_buffering(false);
+  std::size_t sunk = 0;
+  capture.add_sink([&](TraceCapture::Id, Time) { ++sunk; });
+  capture.capture(1, Time::ns(1));
+  capture.capture(2, Time::ns(2));
+
+  EXPECT_TRUE(capture.events().empty());
+  EXPECT_EQ(sunk, 2u);
+  EXPECT_EQ(capture.captured_count(), 2u);
+}
+
+}  // namespace
+}  // namespace loom::sim

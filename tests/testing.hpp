@@ -1,15 +1,30 @@
 // Shared helpers for the LOOM test suites.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <algorithm>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "abv/campaign.hpp"
 #include "mon/monitors.hpp"
 #include "spec/parser.hpp"
 #include "spec/reference.hpp"
 #include "spec/wellformed.hpp"
+
+namespace loom::spec {
+
+/// GTest printer: containers of TimedEvent render element-wise as
+/// "#id@<ps>ps" instead of byte dumps (the interned text needs an
+/// Alphabet; see loom::testing::traces_equal for the named form).
+inline void PrintTo(const TimedEvent& ev, std::ostream* os) {
+  *os << "#" << ev.name << "@" << ev.time.picoseconds() << "ps";
+}
+
+}  // namespace loom::spec
 
 namespace loom::testing {
 
@@ -63,6 +78,90 @@ inline mon::Verdict run_monitor(mon::Monitor& m, const spec::Trace& trace,
       trace.empty() ? sim::Time::zero() : trace.back().time);
   m.finish(end);
   return m.verdict();
+}
+
+/// Renders one event as "name@<ps>ps", falling back to "#id" for ids the
+/// alphabet does not know (e.g. traces parsed into a different alphabet).
+inline std::string render_event(const spec::TimedEvent& ev,
+                                const spec::Alphabet& ab) {
+  std::ostringstream os;
+  if (ev.name < ab.size()) {
+    os << ab.text(ev.name);
+  } else {
+    os << "#" << ev.name;
+  }
+  os << "@" << ev.time.picoseconds() << "ps";
+  return os.str();
+}
+
+/// Element-wise trace comparison: the failure message names the first
+/// diverging event (or the first surplus event of the longer trace)
+/// instead of an opaque boolean.
+inline ::testing::AssertionResult traces_equal(const spec::Trace& actual,
+                                               const spec::Trace& expected,
+                                               const spec::Alphabet& ab) {
+  const std::size_t n = std::min(actual.size(), expected.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(actual[i] == expected[i])) {
+      return ::testing::AssertionFailure()
+             << "traces diverge at event " << i << ": actual "
+             << render_event(actual[i], ab) << " vs expected "
+             << render_event(expected[i], ab);
+    }
+  }
+  if (actual.size() != expected.size()) {
+    const auto& longer = actual.size() > expected.size() ? actual : expected;
+    return ::testing::AssertionFailure()
+           << "trace sizes differ: actual " << actual.size()
+           << " vs expected " << expected.size() << "; first surplus event ["
+           << n << "] = " << render_event(longer[n], ab);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Field-wise CampaignResult comparison for the determinism / differential
+/// suites: lists every differing field by name.  The trace-cache hit/miss
+/// counters are engine diagnostics, deliberately excluded — compare them
+/// separately where a test pins them down.
+inline ::testing::AssertionResult results_identical(
+    const abv::CampaignResult& a, const abv::CampaignResult& b) {
+  std::ostringstream diff;
+  const auto field = [&diff](const char* name, auto x, auto y) {
+    if (!(x == y)) diff << "  " << name << ": " << x << " vs " << y << "\n";
+  };
+  field("traces", a.traces, b.traces);
+  field("events", a.events, b.events);
+  field("valid_accepted", a.valid_accepted, b.valid_accepted);
+  field("oracle_disagreements", a.oracle_disagreements,
+        b.oracle_disagreements);
+  field("viapsl_false_alarms", a.viapsl_false_alarms, b.viapsl_false_alarms);
+  for (std::size_t k = 0; k < 5; ++k) {
+    const std::string kind =
+        std::string("mutation[") +
+        abv::to_string(static_cast<abv::MutationKind>(k)) + "].";
+    field((kind + "applied").c_str(), a.mutation[k].applied,
+          b.mutation[k].applied);
+    field((kind + "invalid").c_str(), a.mutation[k].invalid,
+          b.mutation[k].invalid);
+    field((kind + "detected").c_str(), a.mutation[k].detected,
+          b.mutation[k].detected);
+    field((kind + "missed").c_str(), a.mutation[k].missed,
+          b.mutation[k].missed);
+  }
+  // Coverage ratios and the operation accounting compare exactly, not
+  // within a tolerance: the shard merges are exact.
+  field("alphabet_coverage", a.alphabet_coverage, b.alphabet_coverage);
+  field("recognizer_state_coverage", a.recognizer_state_coverage,
+        b.recognizer_state_coverage);
+  field("monitor_stats.ops", a.monitor_stats.ops, b.monitor_stats.ops);
+  field("monitor_stats.events", a.monitor_stats.events,
+        b.monitor_stats.events);
+  field("monitor_stats.max_ops_per_event", a.monitor_stats.max_ops_per_event,
+        b.monitor_stats.max_ops_per_event);
+  if (diff.str().empty()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "CampaignResult fields differ:\n"
+         << diff.str();
 }
 
 /// Maps a monitor verdict onto the reference verdict domain.
