@@ -5,7 +5,7 @@
 // is bit-identical to the serial baseline (the engine's core invariant —
 // see tests/campaign_parallel_test.cpp for the exhaustive version).
 //
-//   $ ./bench_scaling [max_threads] [seeds]
+//   $ ./bench_scaling [max_threads] [seeds] [auto|drct|viapsl]
 //
 // The complexity sweeps that used to live here moved conceptually into
 // bench_fig6_table, which prints the same Drct-vs-ViaPSL cost story.
@@ -35,7 +35,8 @@ struct Sample {
   std::string report;
 };
 
-Sample run_once(const char* source, std::size_t threads, std::size_t seeds) {
+Sample run_once(const char* source, std::size_t threads, std::size_t seeds,
+                mon::Backend backend) {
   spec::Alphabet ab;
   support::DiagnosticSink sink;
   auto property = spec::parse_property(source, ab, sink);
@@ -50,6 +51,7 @@ Sample run_once(const char* source, std::size_t threads, std::size_t seeds) {
   opt.mutants_per_kind = 24;
   opt.threads = threads;
   opt.shard_size = 1;  // finest grain: every unit can be stolen
+  opt.backend = backend;
 
   const auto begin = std::chrono::steady_clock::now();
   const abv::CampaignResult r = abv::run_campaign(*property, ab, opt);
@@ -69,18 +71,28 @@ int main(int argc, char** argv) {
   const std::size_t max_threads =
       support::parse_count(argc, argv, 1, std::max<std::size_t>(hw, 8));
   const std::size_t seeds = support::parse_count(argc, argv, 2, 48);
+  const auto backend = loom::mon::parse_backend_arg(argc, argv, 3);
+  if (!backend) {
+    std::fprintf(stderr,
+                 "bad backend '%s' (want auto, drct or viapsl)\n"
+                 "usage: %s [max_threads] [seeds] [auto|drct|viapsl]\n",
+                 argv[3], argv[0]);
+    return 2;
+  }
 
-  std::printf("Sharded campaign scaling (%zu hardware threads, %zu seeds)\n",
-              hw, seeds);
+  std::printf(
+      "Sharded campaign scaling (%zu hardware threads, %zu seeds, "
+      "backend %s)\n",
+      hw, seeds, loom::mon::to_string(*backend));
   bool all_identical = true;
   for (const char* source : kProperties) {
     std::printf("\nproperty: %s\n", source);
     std::printf("%8s %12s %14s %9s %s\n", "threads", "wall [ms]",
                 "mon events/s", "speedup", "deterministic");
 
-    const Sample serial = run_once(source, 1, seeds);
+    const Sample serial = run_once(source, 1, seeds, *backend);
     for (std::size_t t = 1; t <= max_threads; t *= 2) {
-      const Sample s = t == 1 ? serial : run_once(source, t, seeds);
+      const Sample s = t == 1 ? serial : run_once(source, t, seeds, *backend);
       const bool identical = s.report == serial.report;
       all_identical = all_identical && identical;
       std::printf("%8zu %12.1f %14.3e %8.2fx %s\n", t, s.seconds * 1e3,

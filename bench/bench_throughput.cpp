@@ -156,6 +156,64 @@ void BM_CampaignMutationHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignMutationHeavy)->Arg(0)->Arg(1)->UseRealTime();
 
+void BM_CampaignCompiledPlans(benchmark::State& state) {
+  // Translate-once vs translate-per-unit on the mutation-heavy shape: six
+  // units per seed and a fresh monitor per killed mutant make the legacy
+  // path re-run the spec→monitor translation hundreds of times per seed;
+  // the compiled path plans once and stamps/reset-reuses instances.  Both
+  // runs are byte-identical (compiled_plan_diff_test); only the wall clock
+  // differs — the label names the path, the delta is the win.
+  const bool compiled = state.range(0) != 0;
+  Fixture fx(kConfig[2], 4);
+  abv::CampaignOptions opt;
+  opt.seeds = 48;
+  opt.stimuli.rounds = 4;
+  opt.mutants_per_kind = 24;  // mutation-heavy: stamping dominates
+  opt.threads = 1;
+  opt.use_compiled_plans = compiled;
+  std::uint64_t monitor_events = 0;
+  for (auto _ : state) {
+    const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    monitor_events += r.monitor_stats.events;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetLabel(compiled ? "compiled plans" : "legacy per-unit translation");
+}
+BENCHMARK(BM_CampaignCompiledPlans)->Arg(0)->Arg(1)->UseRealTime();
+
+void BM_CampaignManyProperties(benchmark::State& state) {
+  // The many-property shape: run_campaigns over a batch, where the legacy
+  // engine pays one translation per (property × unit) and the compiled
+  // engine exactly one per property.
+  const bool compiled = state.range(0) != 0;
+  spec::Alphabet ab;
+  std::vector<spec::Property> props;
+  for (const char* source : kConfig) {
+    support::DiagnosticSink sink;
+    auto p = spec::parse_property(source, ab, sink);
+    if (!p) throw std::runtime_error(sink.to_string());
+    props.push_back(*p);
+  }
+  std::vector<const spec::Property*> ptrs;
+  for (const auto& p : props) ptrs.push_back(&p);
+  abv::CampaignOptions opt;
+  opt.seeds = 16;
+  opt.stimuli.rounds = 4;
+  opt.mutants_per_kind = 12;
+  opt.threads = 1;
+  opt.use_compiled_plans = compiled;
+  std::uint64_t monitor_events = 0;
+  for (auto _ : state) {
+    const auto results = abv::run_campaigns(ptrs, ab, opt);
+    for (const auto& r : results) monitor_events += r.monitor_stats.events;
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetLabel(compiled ? "compiled plans" : "legacy per-unit translation");
+}
+BENCHMARK(BM_CampaignManyProperties)->Arg(0)->Arg(1)->UseRealTime();
+
 void BM_MonitorModulePerEvent(benchmark::State& state) {
   // In-simulation stepping, one observe() per event: every step pays the
   // violation-callback check and the watchdog re-arm.

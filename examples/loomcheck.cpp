@@ -1,12 +1,8 @@
 // loomcheck: offline trace checker — the library as a command-line tool.
 //
-//   loomcheck PROPERTIES.lo TRACE.txt [--psl] [--dot OUT.dot]
-//
-// PROPERTIES.lo holds one property per line ('#' comments allowed), e.g.
-//     (({set_imgAddr, set_glAddr, set_glSize}, &) << start, false)
-//     (start => read_img[1,60000] < set_irq, 2ms)
-// TRACE.txt holds one "name@picoseconds" entry per line (the format
-// written by abv::to_text and by the platform's trace recorder).
+// See kUsage below for the interface.  Properties are compiled once each
+// (mon::CompiledProperty); --backend picks the monitor construction, with
+// `auto` delegating to the psl::cost_model choice per property.
 //
 // Exit status: 0 when every property passes, 1 on any violation, 2 on
 // usage/parse errors.  With no arguments, runs a built-in demo.
@@ -17,8 +13,7 @@
 
 #include "abv/checker.hpp"
 #include "abv/trace.hpp"
-#include "mon/monitors.hpp"
-#include "psl/clause_monitor.hpp"
+#include "mon/compiled.hpp"
 #include "spec/export.hpp"
 #include "spec/parser.hpp"
 #include "spec/wellformed.hpp"
@@ -26,6 +21,27 @@
 namespace {
 
 using namespace loom;
+
+// The one usage text: --help, the unknown-option path and the no-argument
+// demo all print this same string, so they cannot drift apart.
+constexpr const char* kUsage =
+    "usage: loomcheck PROPERTIES.lo TRACE.txt [options]\n"
+    "\n"
+    "  PROPERTIES.lo  one property per line ('#' comments allowed), e.g.\n"
+    "      (({set_imgAddr, set_glAddr, set_glSize}, &) << start, false)\n"
+    "      (start => read_img[1,60000] < set_irq, 2ms)\n"
+    "  TRACE.txt      one \"name@picoseconds\" entry per line (the format\n"
+    "                 written by abv::to_text and the platform recorder)\n"
+    "\n"
+    "options:\n"
+    "  --backend=auto|drct|viapsl  monitor construction (default auto:\n"
+    "                              per-property psl::cost_model choice)\n"
+    "  --psl                       shorthand for --backend=viapsl\n"
+    "  --dot OUT.dot               write the first property's syntax tree\n"
+    "  --help                      print this text and exit\n"
+    "\n"
+    "exit status: 0 all properties pass, 1 violation found, 2 usage/parse\n"
+    "error; with no arguments a built-in demo runs instead.\n";
 
 std::optional<std::string> slurp(const char* path) {
   std::ifstream in(path);
@@ -36,13 +52,11 @@ std::optional<std::string> slurp(const char* path) {
 }
 
 int run_demo() {
-  std::printf(
-      "usage: loomcheck PROPERTIES.lo TRACE.txt [--psl] [--dot OUT.dot]\n\n"
-      "running the built-in demo instead:\n\n");
+  std::printf("%s\nrunning the built-in demo instead:\n\n", kUsage);
   spec::Alphabet ab;
   support::DiagnosticSink sink;
   auto p = spec::parse_property("(({cfg_a, cfg_b}, &) << go, true)", ab, sink);
-  auto monitor = mon::make_monitor(*p);
+  auto monitor = mon::CompiledProperty::compile(*p, ab).instantiate();
   const char* events[] = {"cfg_b", "cfg_a", "go", "cfg_a", "go"};
   sim::Time now;
   for (const char* name : events) {
@@ -57,34 +71,48 @@ int run_demo() {
   return 0;
 }
 
+int usage_error(const char* fmt, const char* what) {
+  std::fprintf(stderr, fmt, what);
+  std::fprintf(stderr, "\n%s", kUsage);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--help") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    }
+  }
   if (argc < 3) return run_demo();
 
-  bool use_psl = false;
+  mon::Backend backend = mon::Backend::Auto;
   const char* dot_path = nullptr;
   for (int k = 3; k < argc; ++k) {
     if (std::strcmp(argv[k], "--psl") == 0) {
-      use_psl = true;
+      backend = mon::Backend::ViaPSL;
+    } else if (std::strncmp(argv[k], "--backend=", 10) == 0) {
+      const auto parsed = mon::parse_backend(argv[k] + 10);
+      if (!parsed) return usage_error("bad backend: %s\n", argv[k] + 10);
+      backend = *parsed;
     } else if (std::strcmp(argv[k], "--dot") == 0 && k + 1 < argc) {
       dot_path = argv[++k];
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", argv[k]);
-      return 2;
+      return usage_error("unknown option: %s\n", argv[k]);
     }
   }
 
   const auto prop_text = slurp(argv[1]);
   const auto trace_text = slurp(argv[2]);
   if (!prop_text || !trace_text) {
-    std::fprintf(stderr, "cannot read %s\n", !prop_text ? argv[1] : argv[2]);
-    return 2;
+    return usage_error("cannot read %s\n", !prop_text ? argv[1] : argv[2]);
   }
 
   spec::Alphabet ab;
-  abv::Checker checker;
   std::vector<spec::Property> properties;
+  std::vector<std::string> lines_kept;
 
   std::istringstream lines(*prop_text);
   std::string line;
@@ -101,16 +129,32 @@ int main(int argc, char** argv) {
       return 2;
     }
     properties.push_back(*p);
-    if (use_psl) {
-      checker.add(line, std::make_unique<psl::ClauseMonitor>(
-                            psl::encode(*p, 2000000, &ab)));
-    } else {
-      checker.add(line, mon::make_monitor(*p));
-    }
+    lines_kept.push_back(line);
   }
   if (properties.empty()) {
-    std::fprintf(stderr, "%s: no properties\n", argv[1]);
-    return 2;
+    return usage_error("%s: no properties\n", argv[1]);
+  }
+
+  // Translate each property exactly once, then stamp its monitor; with
+  // `auto` the cost model may pick a different side per property.  A
+  // forced --backend=viapsl can be untranslatable (shape or clause
+  // budget): that is a usage error, not a crash.
+  abv::Checker checker;
+  mon::CompileOptions copt;
+  copt.backend = backend;
+  bool any_viapsl = false;
+  for (std::size_t i = 0; i < properties.size(); ++i) {
+    try {
+      auto compiled = mon::CompiledProperty::compile(properties[i], ab, copt);
+      any_viapsl = any_viapsl || compiled.chosen() == mon::Backend::ViaPSL;
+      checker.add(lines_kept[i] + "  [" + mon::to_string(compiled.chosen()) +
+                      "]",
+                  compiled.instantiate());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: cannot compile for backend %s: %s\n",
+                   lines_kept[i].c_str(), mon::to_string(backend), e.what());
+      return 2;
+    }
   }
 
   support::DiagnosticSink trace_sink;
@@ -129,8 +173,11 @@ int main(int argc, char** argv) {
 
   checker.run(*trace, trace->empty() ? sim::Time::zero()
                                      : trace->back().time);
-  std::printf("%zu events checked against %zu properties (%s monitors)\n\n",
-              trace->size(), checker.size(), use_psl ? "ViaPSL" : "Drct");
+  std::printf("%zu events checked against %zu properties (backend %s%s)\n\n",
+              trace->size(), checker.size(), mon::to_string(backend),
+              backend == mon::Backend::Auto
+                  ? (any_viapsl ? ", resolved per property" : ", all drct")
+                  : "");
   std::printf("%s", checker.summary(ab).c_str());
   return checker.all_passing() ? 0 : 1;
 }

@@ -2,7 +2,7 @@
 // through the sharded campaign engine, serial first and then on a
 // work-stealing pool — same bits out, less wall-clock in.
 //
-//   $ ./examples/parallel_campaign [threads] [seeds]
+//   $ ./examples/parallel_campaign [threads] [seeds] [auto|drct|viapsl]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +18,14 @@ int main(int argc, char** argv) {
   const std::size_t threads = support::parse_count(
       argc, argv, 1, std::max(1u, std::thread::hardware_concurrency()));
   const std::size_t seeds = support::parse_count(argc, argv, 2, 24);
+  const auto backend = mon::parse_backend_arg(argc, argv, 3);
+  if (!backend) {
+    std::fprintf(stderr,
+                 "bad backend '%s' (want auto, drct or viapsl)\n"
+                 "usage: %s [threads] [seeds] [auto|drct|viapsl]\n",
+                 argv[3], argv[0]);
+    return 2;
+  }
 
   // The access-control flavoured property set of the evaluation.
   const char* sources[] = {
@@ -48,6 +56,23 @@ int main(int argc, char** argv) {
   opt.stimuli.noise_permille = 100;
   opt.mutants_per_kind = 16;
   opt.shard_size = 1;
+  opt.backend = *backend;
+
+  // Show what the campaigns will execute: each property's translate-once
+  // plan, rendered through the plan's own interned alphabet snapshot (no
+  // shared-Alphabet access needed once a plan exists).
+  const auto plans = abv::compile_property_plans(ptrs, ab, opt);
+  for (const auto& plan : plans) {
+    std::string names;
+    plan.compiled.alphabet().for_each([&](std::size_t n) {
+      if (!names.empty()) names += ", ";
+      names += plan.compiled.text_of(static_cast<spec::Name>(n));
+    });
+    std::printf("plan %zu: backend %s, %zu-name alphabet {%s}\n",
+                plan.index, mon::to_string(plan.compiled.chosen()),
+                plan.compiled.alphabet().count(), names.c_str());
+  }
+  std::printf("\n");
 
   const auto timed = [&](std::size_t t) {
     opt.threads = t;
@@ -72,6 +97,16 @@ int main(int argc, char** argv) {
         identical && serial[i].report(ab) == parallel[i].report(ab);
   }
 
+  std::size_t stamped = 0;
+  std::size_t reused = 0;
+  for (const auto& r : parallel) {
+    stamped += r.compile_stats.instances_stamped;
+    reused += r.compile_stats.instance_reuses;
+  }
+  std::printf(
+      "compiled plans: %zu properties translated once each; "
+      "%zu instances stamped, %zu reset-reused\n",
+      properties.size(), stamped, reused);
   std::printf("serial:   %7.1f ms\n", serial_s * 1e3);
   std::printf("parallel: %7.1f ms  (%.2fx on %zu threads)\n",
               parallel_s * 1e3, serial_s / parallel_s, threads);

@@ -30,11 +30,11 @@ sim::Time end_of(const spec::Trace& t) {
 }
 
 // Everything a work unit needs, shared read-only across workers once
-// run_campaigns() has finished its setup (noise names pre-interned, ViaPSL
-// encodings materialized).
+// run_campaigns() has finished its setup (noise names pre-interned,
+// property plans compiled, ViaPSL encodings materialized).
 struct CampaignJob {
   const spec::Property* property = nullptr;
-  const psl::Encoding* encoding = nullptr;  // null unless check_viapsl
+  const PropertyPlan* plan = nullptr;
   std::size_t index = 0;  // position in run_campaigns' property list
 };
 
@@ -57,6 +57,26 @@ struct Shard {
   std::size_t unit_begin = 0;  // within the job's seeds×slots space
   std::size_t unit_end = 0;
 };
+
+// Stamps the monitor a work unit checks with.  On the compiled path this is
+// a cheap instantiation from the shared translate-once artifacts; on the
+// legacy path it re-runs the full per-unit translation the pre-plan engine
+// did (make_monitor re-plans the property, a ViaPSL unit re-encodes the
+// clause set).  Either way the bytes that come out are identical — that is
+// the compiled ≡ per-unit invariant of compiled_plan_diff_test.
+std::unique_ptr<mon::Monitor> stamp_monitor(const CampaignJob& job,
+                                            const CampaignOptions& options,
+                                            const spec::Alphabet& ab,
+                                            ShardOutcome& out) {
+  ++out.partial.compile_stats.instances_stamped;
+  const mon::CompiledProperty& compiled = job.plan->compiled;
+  if (options.use_compiled_plans) return compiled.instantiate();
+  if (compiled.chosen() == mon::Backend::ViaPSL) {
+    return std::make_unique<psl::ClauseMonitor>(
+        psl::encode(*job.property, compiled.max_clauses(), &ab));
+  }
+  return mon::make_monitor(*job.property);
+}
 
 // The valid trace of seed `s` is a pure function of (first_seed + s): both
 // the valid phase and every mutation unit of the seed regenerate it from
@@ -103,9 +123,12 @@ void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
   ++out.partial.traces;
   out.partial.events += valid.size();
 
-  auto monitor = mon::make_monitor(property);
+  auto monitor = stamp_monitor(job, options, ab, out);
+  // Recognizer-state coverage samples the Drct antecedent recognizer; a
+  // ViaPSL-backed campaign has no such structure to sample.
   std::optional<RecognizerCoverage> rec_cov;
-  if (property.is_antecedent()) {
+  if (property.is_antecedent() &&
+      job.plan->compiled.chosen() == mon::Backend::Drct) {
     rec_cov.emplace(static_cast<const mon::AntecedentMonitor&>(*monitor));
   }
   for (const auto& ev : valid) {
@@ -129,14 +152,17 @@ void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
   if (monitor_ok == ref.rejected()) ++out.partial.oracle_disagreements;
   out.partial.monitor_stats.merge(monitor->stats());
 
-  if (job.encoding != nullptr) {
-    psl::ClauseMonitor viapsl(*job.encoding);
-    for (const auto& ev : valid) viapsl.observe(ev.name, ev.time);
-    viapsl.finish(end_of(valid));
-    if (!ref.rejected() && viapsl.verdict() == mon::Verdict::Violated) {
+  if (options.check_viapsl) {
+    // The cross-check always instantiates from the shared clause set (the
+    // pre-plan engine shared its encodings the same way).
+    auto viapsl = job.plan->compiled.instantiate(mon::Backend::ViaPSL);
+    ++out.partial.compile_stats.instances_stamped;
+    for (const auto& ev : valid) viapsl->observe(ev.name, ev.time);
+    viapsl->finish(end_of(valid));
+    if (!ref.rejected() && viapsl->verdict() == mon::Verdict::Violated) {
       ++out.partial.viapsl_false_alarms;
     }
-    out.partial.monitor_stats.merge(viapsl.stats());
+    out.partial.monitor_stats.merge(viapsl->stats());
   }
 }
 
@@ -152,6 +178,10 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
   const std::size_t k = slot - 1;
   auto& stats = out.partial.mutation[k];
   support::Rng rng = support::Rng::stream(options.first_seed + s, slot);
+  // Compiled path: the unit stamps one instance on first need and reuses
+  // it across its mutants via Monitor::reset() (fresh ≡ reset, locked by
+  // mon_reset_reuse_test).  Legacy path: a fresh translation per mutant.
+  std::unique_ptr<mon::Monitor> mmon;
   for (std::size_t m = 0; m < options.mutants_per_kind; ++m) {
     auto mutant = mutate(valid, kAllKinds[k], property, rng);
     if (!mutant) continue;
@@ -160,7 +190,12 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
         spec::reference_check(property, mutant->trace, end_of(mutant->trace));
     if (!mref.rejected()) continue;
     ++stats.invalid;
-    auto mmon = mon::make_monitor(property);
+    if (mmon == nullptr || !options.use_compiled_plans) {
+      mmon = stamp_monitor(job, options, ab, out);
+    } else {
+      mmon->reset();
+      ++out.partial.compile_stats.instance_reuses;
+    }
     if (options.batch_replay) {
       // In-simulation replay host, scoped per mutant: the kernel only
       // supplies the watchdog queue, which is never pumped — deadline
@@ -206,23 +241,44 @@ void run_shard(const std::vector<CampaignJob>& jobs, spec::Alphabet& ab,
 
 }  // namespace
 
+std::vector<PropertyPlan> compile_property_plans(
+    const std::vector<const spec::Property*>& properties,
+    const spec::Alphabet& ab, const CampaignOptions& options) {
+  std::vector<PropertyPlan> plans(properties.size());
+  mon::CompileOptions copt;
+  copt.backend = options.backend;
+  // The cross-check instantiates ViaPSL monitors next to Drct units, so the
+  // clause set must be materialized even when the chosen backend is Drct.
+  copt.with_viapsl_artifact = options.check_viapsl;
+  for (std::size_t p = 0; p < properties.size(); ++p) {
+    PropertyPlan& plan = plans[p];
+    plan.property = properties[p];
+    plan.index = p;
+    plan.compiled = mon::CompiledProperty::compile(*properties[p], ab, copt);
+    plan.base_stats.plans_built = 1;
+    plan.base_stats.viapsl_encodings =
+        plan.compiled.encoding() != nullptr ? 1 : 0;
+    plan.base_stats.backend_requested = plan.compiled.requested();
+    plan.base_stats.backend_chosen = plan.compiled.chosen();
+  }
+  return plans;
+}
+
 std::vector<CampaignResult> run_campaigns(
     const std::vector<const spec::Property*>& properties, spec::Alphabet& ab,
     const CampaignOptions& options) {
   // Setup runs serially on the caller: intern everything stimuli
-  // generation could lazily intern and materialize the ViaPSL encodings,
-  // so the alphabet is strictly read-only once workers share it.
+  // generation could lazily intern, then translate every property exactly
+  // once — plan tables, backend choice, ViaPSL clause sets — so both the
+  // alphabet and the plans are strictly read-only once workers share them.
   pre_intern_stimuli_names(ab, options.stimuli);
+  const std::vector<PropertyPlan> plans =
+      compile_property_plans(properties, ab, options);
   std::vector<CampaignJob> jobs(properties.size());
-  std::vector<psl::Encoding> encodings;
-  encodings.reserve(properties.size());  // stable addresses for job pointers
   for (std::size_t p = 0; p < properties.size(); ++p) {
     jobs[p].property = properties[p];
+    jobs[p].plan = &plans[p];
     jobs[p].index = p;
-    if (options.check_viapsl) {
-      encodings.push_back(psl::encode(*properties[p], 2000000, &ab));
-      jobs[p].encoding = &encodings.back();
-    }
   }
 
   // Shard the flattened (property × seed × slot) space.  Shards never span
@@ -269,6 +325,9 @@ std::vector<CampaignResult> run_campaigns(
   for (const auto& job : jobs) {
     alphabet_covs.emplace_back(job.property->alphabet());
   }
+  for (std::size_t p = 0; p < jobs.size(); ++p) {
+    results[p].compile_stats = plans[p].base_stats;
+  }
   std::vector<std::optional<RecognizerCoverage>> rec_covs(jobs.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const std::size_t p = shards[i].job;
@@ -283,6 +342,7 @@ std::vector<CampaignResult> run_campaigns(
       result.mutation[k].merge(out.partial.mutation[k]);
     }
     result.monitor_stats.merge(out.partial.monitor_stats);
+    result.compile_stats.merge(out.partial.compile_stats);
     result.trace_cache_hits += out.partial.trace_cache_hits;
     result.trace_cache_misses += out.partial.trace_cache_misses;
     if (out.alphabet) alphabet_covs[p].merge(*out.alphabet);
@@ -316,6 +376,10 @@ std::string CampaignResult::report(const spec::Alphabet&) const {
                 "%zu oracle disagreements, %zu ViaPSL false alarms\n",
                 traces, events, valid_accepted, oracle_disagreements,
                 viapsl_false_alarms);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "backend: %s (requested %s)\n",
+                mon::to_string(compile_stats.backend_chosen),
+                mon::to_string(compile_stats.backend_requested));
   out += buf;
   std::snprintf(buf, sizeof buf,
                 "coverage: alphabet %.0f%%, recognizer states %.0f%%\n",

@@ -1,18 +1,30 @@
-// Verification campaign runner: the paper's Fig. 1 loop as one call.
-//
-// For a property, run_campaign() generates valid stimuli across seeds,
-// checks them with the Drct monitor and the declarative reference, then
-// applies every mutation operator repeatedly and records how violations
-// are detected.  The result aggregates pass/fail counts, mutation-kill
-// statistics and structural coverage — the input the paper's "coverage
-// improver" would consume.
-//
-// The loop is embarrassingly parallel and the engine exploits that: the
-// (seed × property × mutation-kind) space is sharded into independent work
-// units, each drawing from its own support::Rng stream keyed by the unit
-// index, and per-shard results are merged with an order-independent
-// reduction.  A run with threads=N is bit-identical to the serial
-// threads=1 run — same counts, same coverage ratios, same report text.
+//! Verification campaign runner: the paper's Fig. 1 loop as one call.
+//!
+//! For a property, run_campaign() generates valid stimuli across seeds,
+//! checks them with the chosen runtime monitor and the declarative
+//! reference, then applies every mutation operator repeatedly and records
+//! how violations are detected.  The result aggregates pass/fail counts,
+//! mutation-kill statistics and structural coverage — the input the paper's
+//! "coverage improver" would consume.
+//!
+//! The loop is embarrassingly parallel and the engine exploits that: the
+//! (seed × property × mutation-kind) space is sharded into independent work
+//! units, each drawing from its own support::Rng stream keyed by the unit
+//! index, and per-shard results are merged with an order-independent
+//! reduction.
+//!
+//! Ownership: run_campaigns() owns every artifact it creates (compiled
+//! plans, trace cache, pool); callers keep ownership of the properties and
+//! the alphabet, which must outlive the call.  Thread-safety: the alphabet
+//! is pre-interned during serial setup and then shared strictly read-only;
+//! compiled plans and cached traces are immutable once published.
+//! Determinism contracts (all enforced by tier-1 tests):
+//!   serial ≡ parallel        (campaign_parallel_test)
+//!   cached replay ≡ live     (campaign_replay_diff_test)
+//!   compiled ≡ per-unit      (compiled_plan_diff_test)
+//! A run with threads=N, any shard size, any cache/batch/plan knob setting
+//! is bit-identical to the serial legacy run — same counts, same coverage
+//! ratios, same report text.
 #pragma once
 
 #include <string>
@@ -21,6 +33,7 @@
 #include "abv/coverage.hpp"
 #include "abv/mutate.hpp"
 #include "abv/stimuli.hpp"
+#include "mon/compiled.hpp"
 #include "mon/stats.hpp"
 
 namespace loom::abv {
@@ -31,6 +44,21 @@ struct CampaignOptions {
   StimuliOptions stimuli;           // rounds / noise per generated trace
   std::size_t mutants_per_kind = 10;
   bool check_viapsl = false;        // additionally run the ViaPSL monitor
+
+  /// Monitor construction executing the campaign's units: Drct, ViaPSL, or
+  /// Auto — the per-property psl::cost_model choice (which picks Drct for
+  /// every property the paper evaluates; see mon::CompiledProperty).  The
+  /// chosen backend is part of the semantic result: it decides which
+  /// monitor produces the verdicts and the Figure-6 accounting.
+  mon::Backend backend = mon::Backend::Auto;
+
+  /// Compile each property once (mon::CompiledProperty) and stamp per-unit
+  /// monitor instances from the shared plan, reusing one instance per
+  /// mutation unit via Monitor::reset().  Off re-runs the full translation
+  /// inside every work unit and heap-allocates per mutant, like the
+  /// pre-plan engine.  Result-neutral — compiled_plan_diff_test holds the
+  /// two paths byte-for-byte equal.
+  bool use_compiled_plans = true;
 
   /// Worker threads for the sharded engine: 1 runs the shards serially on
   /// the calling thread, 0 asks the hardware, N>1 spins a work-stealing
@@ -68,6 +96,49 @@ struct MutationStats {
   }
 };
 
+/// Accounting of the translate-once compilation layer.  The backend fields
+/// are semantic (they name the monitor construction that produced the
+/// result); the instance counters are engine diagnostics like the trace
+/// cache split — deterministic for a given knob setting, excluded from
+/// report(), and compared separately by the differential tests.
+struct CompileStats {
+  std::size_t plans_built = 0;        // one-time property translations
+  std::size_t viapsl_encodings = 0;   // materialized clause sets
+  std::size_t instances_stamped = 0;  // monitors constructed for work units
+  std::size_t instance_reuses = 0;    // Monitor::reset() reuses of those
+  mon::Backend backend_requested = mon::Backend::Auto;
+  mon::Backend backend_chosen = mon::Backend::Drct;
+
+  /// Order-independent shard reduction: counters are sums, the backend
+  /// fields are per-property constants (every shard agrees on them).
+  void merge(const CompileStats& other) {
+    plans_built += other.plans_built;
+    viapsl_encodings += other.viapsl_encodings;
+    instances_stamped += other.instances_stamped;
+    instance_reuses += other.instance_reuses;
+  }
+};
+
+/// One property's compiled campaign artifacts: the translate-once
+/// mon::CompiledProperty (recognizer tables, interned alphabet, optional
+/// ViaPSL clause set, cost-model backend choice) plus the campaign-side
+/// bookkeeping.  Built serially by compile_property_plans() before workers
+/// start and shared strictly read-only across all shards.
+struct PropertyPlan {
+  const spec::Property* property = nullptr;
+  mon::CompiledProperty compiled;
+  std::size_t index = 0;      // position in run_campaigns' property list
+  CompileStats base_stats;    // plans/encodings built + backend fields
+};
+
+/// Compiles every property up front: one plan, one optional ViaPSL clause
+/// set and one resolved backend per property, all pure functions of
+/// (property, options).  run_campaigns() calls this itself; it is exposed
+/// for tests and benches that want to inspect or reuse the plans.
+std::vector<PropertyPlan> compile_property_plans(
+    const std::vector<const spec::Property*>& properties,
+    const spec::Alphabet& ab, const CampaignOptions& options);
+
 struct CampaignResult {
   std::size_t traces = 0;
   std::size_t events = 0;
@@ -76,11 +147,16 @@ struct CampaignResult {
   std::size_t viapsl_false_alarms = 0;   // ViaPSL rejected a reference-pass
   MutationStats mutation[5];        // indexed by MutationKind
   double alphabet_coverage = 0.0;
-  double recognizer_state_coverage = 0.0;  // antecedents only; else 1.0
+  double recognizer_state_coverage = 0.0;  // Drct antecedents only; else 1.0
 
   /// Figure-6-style operation accounting summed over every monitor the
   /// campaign ran (valid phases, mutants and ViaPSL checks alike).
   mon::MonitorStats monitor_stats;
+
+  /// Translate-once accounting: plans built, backend chosen, instances
+  /// stamped/reused.  The backend fields are semantic; the counters are
+  /// engine diagnostics (see CompileStats).
+  CompileStats compile_stats;
 
   /// Per-seed trace cache accounting (both 0 with reuse_traces off).  The
   /// split is deterministic — exactly one miss per seed, every other unit

@@ -1,6 +1,16 @@
-// The assertion checker of the paper's Fig. 1 verification framework:
-// fans observed events out to a set of property monitors (Drct, ViaPSL or
-// mixed) and aggregates their verdicts.
+//! The assertion checker of the paper's Fig. 1 verification framework:
+//! fans observed events out to a set of property monitors (Drct, ViaPSL or
+//! mixed) and aggregates their verdicts.
+//!
+//! Ownership: the Checker owns every monitor add() hands it (and everything
+//! absorb() takes over); names are display labels, not keys.
+//! Thread-safety: none — a Checker belongs to one thread; parallel
+//! embedders run one Checker per worker over disjoint traces and absorb()
+//! the shards afterwards (the campaign engine merges plain counters
+//! instead, see abv::run_campaigns).
+//! Determinism: observe()/run() broadcast in registration order and the
+//! aggregate is an order-independent reduction, so a replayed trace yields
+//! the same summary bytes every time.
 #pragma once
 
 #include <memory>

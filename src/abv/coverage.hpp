@@ -1,10 +1,20 @@
-// Coverage measurement (the "coverage improver" input of the paper's
-// Fig. 1): which part of a property's behaviour a stimuli set exercised.
-//
-//   AlphabetCoverage    which interface names were observed at all;
-//   RecognizerCoverage  which states of each Fig. 5 range recognizer were
-//                       visited and whether the block-length bounds u and v
-//                       were actually hit.
+//! Coverage measurement (the "coverage improver" input of the paper's
+//! Fig. 1): which part of a property's behaviour a stimuli set exercised.
+//!
+//!   AlphabetCoverage    which interface names were observed at all;
+//!   RecognizerCoverage  which states of each Fig. 5 range recognizer were
+//!                       visited and whether the block-length bounds u and v
+//!                       were actually hit.
+//!
+//! Ownership: RecognizerCoverage borrows the Drct antecedent monitor it
+//! samples — call detach() before outliving it (the campaign engine stores
+//! merged coverage long after each unit's monitor died).  A ViaPSL-backed
+//! campaign has no recognizer structure to sample and reports 1.0.
+//! Thread-safety: instances are single-thread; campaign shards each sample
+//! into their own instance and merge() afterwards.
+//! Determinism: merge() is an order-independent union (state masks OR,
+//! block maxima max), which is what lets shard merges stay bit-identical
+//! at any thread count.
 #pragma once
 
 #include <cstdint>

@@ -1,12 +1,19 @@
-// Mutation operators: violation injection for negative testing.
-//
-// Each operator perturbs a (typically valid) trace in a way that tends to
-// violate a loose-ordering property: dropping a required event, duplicating
-// a block element past its bound, swapping events across a fragment
-// boundary, firing the trigger early, or stalling a timed consequent past
-// its deadline.  Not every mutation of every trace yields a violation (a
-// swap inside a fragment is legal by design!): callers decide expected
-// verdicts with the reference checker.
+//! Mutation operators: violation injection for negative testing.
+//!
+//! Each operator perturbs a (typically valid) trace in a way that tends to
+//! violate a loose-ordering property: dropping a required event, duplicating
+//! a block element past its bound, swapping events across a fragment
+//! boundary, firing the trigger early, or stalling a timed consequent past
+//! its deadline.  Not every mutation of every trace yields a violation (a
+//! swap inside a fragment is legal by design!): callers decide expected
+//! verdicts with the reference checker.
+//!
+//! Ownership: mutate() returns a fresh trace; inputs are never modified.
+//! Thread-safety: pure functions of (trace, property, rng) — safe to call
+//! concurrently as long as each caller owns its Rng.
+//! Determinism: a given Rng stream yields the same mutant sequence on any
+//! thread; the campaign engine keys streams by (seed, mutation slot) so
+//! its mutants never depend on scheduling.
 #pragma once
 
 #include <optional>

@@ -1,13 +1,19 @@
-// Stimuli generation from loose-ordering patterns (the paper's §8 "further
-// work": generating random sequences from the patterns, closing the ABV
-// loop of Fig. 1).
-//
-// generate_valid() samples a trace from the language of a property:
-// fragments in order, blocks in a random order within each fragment (a
-// random non-empty subset for ∨), block lengths uniform in [u,v], trigger /
-// reset events between rounds, and optional irrelevant noise events that
-// the monitors must ignore.  Timed implications get event gaps budgeted so
-// every round meets its deadline.
+//! Stimuli generation from loose-ordering patterns (the paper's §8 "further
+//! work": generating random sequences from the patterns, closing the ABV
+//! loop of Fig. 1).
+//!
+//! generate_valid() samples a trace from the language of a property:
+//! fragments in order, blocks in a random order within each fragment (a
+//! random non-empty subset for ∨), block lengths uniform in [u,v], trigger /
+//! reset events between rounds, and optional irrelevant noise events that
+//! the monitors must ignore.  Timed implications get event gaps budgeted so
+//! every round meets its deadline.
+//!
+//! Thread-safety: generation interns lazily into the shared Alphabet —
+//! parallel engines must call pre_intern_stimuli_names() serially first,
+//! after which generation only reads the alphabet.
+//! Determinism: a trace is a pure function of (property, rng stream,
+//! options); the campaign's per-seed trace cache depends on exactly that.
 #pragma once
 
 #include "spec/ast.hpp"

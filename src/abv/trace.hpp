@@ -1,5 +1,14 @@
-// Trace utilities: text serialization ("name@time_ps" lines) and an event
-// recorder used by the platform observation adapters.
+//! Trace utilities: text serialization ("name@time_ps" lines) and an event
+//! recorder used by the platform observation adapters.
+//!
+//! Ownership: TraceRecorder owns its recorded events until take() moves
+//! them out; attach() subscribes a recorder to a sim::TraceCapture whose
+//! lifetime the caller manages.
+//! Thread-safety: recording rides the (single-threaded) simulation kernel;
+//! parsing/serialization are pure.
+//! Determinism: from_text(to_text(t)) == t for every trace
+//! (abv_trace_roundtrip_test) — the text format is the interchange the
+//! campaign's cached replay and loomcheck both rely on.
 #pragma once
 
 #include <functional>

@@ -3,9 +3,15 @@
 namespace loom::mon {
 
 AntecedentMonitor::AntecedentMonitor(spec::Antecedent property)
+    : AntecedentMonitor(std::move(property), nullptr) {}
+
+AntecedentMonitor::AntecedentMonitor(
+    spec::Antecedent property, std::shared_ptr<const spec::OrderingPlan> plan)
     : property_(std::move(property)),
-      plan_(spec::plan_antecedent(property_)),
-      recognizer_(plan_, stats_) {
+      plan_(plan != nullptr ? std::move(plan)
+                            : std::make_shared<const spec::OrderingPlan>(
+                                  spec::plan_antecedent(property_))),
+      recognizer_(*plan_, stats_) {
   recognizer_.activate();
 }
 
@@ -17,7 +23,7 @@ void AntecedentMonitor::observe(spec::Name name, sim::Time time) {
     return;  // retired
   }
   stats_.add();  // alphabet filter
-  if (!plan_.alphabet.test(name)) {
+  if (!plan_->alphabet.test(name)) {
     stats_.end_event(before);
     return;
   }
@@ -53,12 +59,16 @@ std::size_t AntecedentMonitor::space_bits() const {
 }
 
 void AntecedentMonitor::reset() {
+  // Stats first: restart() re-runs the activation (RangeRecognizer::start
+  // charges one op per range of F1), and a fresh monitor carries exactly
+  // those ops — clearing afterwards would lose them and make a reused
+  // instance distinguishable from a fresh one (mon_reset_reuse_test).
+  stats_.reset();
   recognizer_.restart();
   verdict_ = Verdict::Monitoring;
   violation_.reset();
   validated_ = 0;
   ordinal_ = 0;
-  stats_.reset();
 }
 
 }  // namespace loom::mon

@@ -6,6 +6,7 @@
 // monitor retires with verdict Holds at the first validated i.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "mon/ordering_recognizer.hpp"
@@ -16,6 +17,10 @@ namespace loom::mon {
 class AntecedentMonitor final : public Monitor {
  public:
   explicit AntecedentMonitor(spec::Antecedent property);
+  /// Instantiation from a precomputed plan (mon::CompiledProperty): the
+  /// plan must describe `property`; no attribute computation runs here.
+  AntecedentMonitor(spec::Antecedent property,
+                    std::shared_ptr<const spec::OrderingPlan> plan);
 
   void observe(spec::Name name, sim::Time time) override;
   void observe_batch(const spec::Trace& slice) override {
@@ -35,12 +40,12 @@ class AntecedentMonitor final : public Monitor {
   std::uint64_t validated_triggers() const { return validated_; }
 
   const spec::Antecedent& property() const { return property_; }
-  const spec::OrderingPlan& plan() const { return plan_; }
+  const spec::OrderingPlan& plan() const { return *plan_; }
   const OrderingRecognizer& recognizer() const { return recognizer_; }
 
  private:
   spec::Antecedent property_;
-  spec::OrderingPlan plan_;
+  std::shared_ptr<const spec::OrderingPlan> plan_;
   MonitorStats stats_;
   OrderingRecognizer recognizer_;
   Verdict verdict_ = Verdict::Monitoring;

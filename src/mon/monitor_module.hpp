@@ -1,11 +1,22 @@
-// In-simulation monitor binding (the SystemC face of the Drct monitors).
-//
-// A MonitorModule lives in the module hierarchy next to the DUV, stamps
-// observed interface events with the kernel's current time, forwards them
-// to a property monitor, fires violation callbacks, and keeps a watchdog
-// armed on the deadline of timed implication constraints so that overdue
-// consequents are reported at the instant the deadline passes, not at the
-// next event.
+//! In-simulation monitor binding (the SystemC face of the Drct monitors).
+//!
+//! A MonitorModule lives in the module hierarchy next to the DUV, stamps
+//! observed interface events with the kernel's current time, forwards them
+//! to a property monitor, fires violation callbacks, and keeps a watchdog
+//! armed on the deadline of timed implication constraints so that overdue
+//! consequents are reported at the instant the deadline passes, not at the
+//! next event.
+//!
+//! Ownership: the module borrows its Monitor, Scheduler and Alphabet — all
+//! must outlive it; its destructor disarms any still-queued watchdog so a
+//! dead module is never called back.
+//! Thread-safety: none — modules live on the (single-threaded) simulation
+//! kernel; the campaign engine scopes one throwaway kernel + module per
+//! replayed mutant inside each worker.
+//! Determinism: observe_batch(ReplayAll) is bit-identical to a per-event
+//! observe() loop — verdict, stats and violation alike (mon_batch_test,
+//! campaign_replay_diff_test); StopAtViolation intentionally stops early
+//! and reports at the cause.
 #pragma once
 
 #include <functional>

@@ -1,5 +1,12 @@
-// Aggregate header for the Drct monitors plus a factory from parsed
-// properties.
+//! Aggregate header for the Drct monitors plus a factory from parsed
+//! properties.
+//!
+//! make_monitor() re-runs the full attribute computation per call; hot
+//! paths that build many instances of one property should compile once
+//! with mon::CompiledProperty (compiled.hpp) and stamp instances from the
+//! shared plan instead — same bytes out, none of the per-call translation.
+//! Ownership: the caller owns the returned monitor.  Thread-safety: the
+//! factory is pure; each monitor instance is single-thread.
 #pragma once
 
 #include <memory>

@@ -1,12 +1,18 @@
-// Operation and state accounting for monitors.
-//
-// The paper's Figure 6 compares monitors by
-//   time  = number of operations executed per observed event,
-//   space = number of bits of Boolean and bounded-Integer state.
-// Every monitor (Drct and ViaPSL) threads a MonitorStats through its step
-// functions; each membership test, comparison, assignment and counter
-// update adds one operation.  Space is computed statically from the plan
-// (see space_bits() on each recognizer).
+//! Operation and state accounting for monitors.
+//!
+//! The paper's Figure 6 compares monitors by
+//!   time  = number of operations executed per observed event,
+//!   space = number of bits of Boolean and bounded-Integer state.
+//! Every monitor (Drct and ViaPSL) threads a MonitorStats through its step
+//! functions; each membership test, comparison, assignment and counter
+//! update adds one operation.  Space is computed statically from the plan
+//! (see space_bits() on each recognizer).
+//!
+//! Ownership/thread-safety: a MonitorStats lives inside one monitor on one
+//! thread; cross-monitor and cross-shard aggregation go through merge().
+//! Determinism: merge() is commutative and associative (sums + max), so
+//! any merge order yields the same aggregate — the campaign's shard
+//! reduction depends on it.
 #pragma once
 
 #include <cstddef>

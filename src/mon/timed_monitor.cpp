@@ -3,9 +3,16 @@
 namespace loom::mon {
 
 TimedImplicationMonitor::TimedImplicationMonitor(spec::TimedImplication property)
+    : TimedImplicationMonitor(std::move(property), nullptr) {}
+
+TimedImplicationMonitor::TimedImplicationMonitor(
+    spec::TimedImplication property,
+    std::shared_ptr<const spec::OrderingPlan> plan)
     : property_(std::move(property)),
-      plan_(spec::plan_timed(property_)),
-      recognizer_(plan_, stats_) {
+      plan_(plan != nullptr ? std::move(plan)
+                            : std::make_shared<const spec::OrderingPlan>(
+                                  spec::plan_timed(property_))),
+      recognizer_(*plan_, stats_) {
   recognizer_.activate();
 }
 
@@ -17,8 +24,8 @@ void TimedImplicationMonitor::violate(std::size_t ordinal, sim::Time time,
 
 void TimedImplicationMonitor::update_timing(sim::Time now, std::size_t ordinal,
                                             spec::Name name) {
-  const std::size_t p_last = plan_.p_boundary - 1;
-  const std::size_t q_last = plan_.fragments.size() - 1;
+  const std::size_t p_last = plan_->p_boundary - 1;
+  const std::size_t q_last = plan_->fragments.size() - 1;
   const std::size_t active = recognizer_.active_fragment();
   stats_.add(2);  // the two stage comparisons below
   if (!armed_ && (active > p_last ||
@@ -52,7 +59,7 @@ void TimedImplicationMonitor::observe(spec::Name name, sim::Time time) {
     return;
   }
   stats_.add();  // alphabet filter
-  if (!plan_.alphabet.test(name)) {
+  if (!plan_->alphabet.test(name)) {
     stats_.end_event(before);
     return;
   }
@@ -118,6 +125,9 @@ std::size_t TimedImplicationMonitor::space_bits() const {
 }
 
 void TimedImplicationMonitor::reset() {
+  // Stats first: restart() re-runs the activation ops a fresh monitor
+  // carries; clearing afterwards would lose them (mon_reset_reuse_test).
+  stats_.reset();
   recognizer_.restart();
   verdict_ = Verdict::Monitoring;
   violation_.reset();
@@ -125,7 +135,6 @@ void TimedImplicationMonitor::reset() {
   q_done_ = false;
   rounds_ = 0;
   ordinal_ = 0;
-  stats_.reset();
 }
 
 }  // namespace loom::mon

@@ -13,6 +13,7 @@
 // ends past the deadline with Q unfinished.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "mon/ordering_recognizer.hpp"
@@ -23,6 +24,10 @@ namespace loom::mon {
 class TimedImplicationMonitor final : public Monitor {
  public:
   explicit TimedImplicationMonitor(spec::TimedImplication property);
+  /// Instantiation from a precomputed plan (mon::CompiledProperty): the
+  /// plan must describe `property`; no attribute computation runs here.
+  TimedImplicationMonitor(spec::TimedImplication property,
+                          std::shared_ptr<const spec::OrderingPlan> plan);
 
   void observe(spec::Name name, sim::Time time) override;
   void observe_batch(const spec::Trace& slice) override {
@@ -53,7 +58,7 @@ class TimedImplicationMonitor final : public Monitor {
   }
 
   const spec::TimedImplication& property() const { return property_; }
-  const spec::OrderingPlan& plan() const { return plan_; }
+  const spec::OrderingPlan& plan() const { return *plan_; }
 
  private:
   void update_timing(sim::Time now, std::size_t ordinal, spec::Name name);
@@ -61,7 +66,7 @@ class TimedImplicationMonitor final : public Monitor {
                std::string reason);
 
   spec::TimedImplication property_;
-  spec::OrderingPlan plan_;
+  std::shared_ptr<const spec::OrderingPlan> plan_;
   MonitorStats stats_;
   OrderingRecognizer recognizer_;
   Verdict verdict_ = Verdict::Monitoring;

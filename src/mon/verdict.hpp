@@ -1,4 +1,17 @@
-// Monitor verdicts and violation reports.
+//! Monitor verdicts, violation reports and the Monitor interface every
+//! runtime construction (Drct and ViaPSL) implements.
+//!
+//! Ownership: a Monitor owns all of its mutable state; compiled
+//! constructions (mon::CompiledProperty) additionally share immutable
+//! artifacts behind shared_ptr, which instances keep alive.
+//! Thread-safety: one Monitor belongs to one thread at a time; immutable
+//! artifacts may be shared freely across threads.
+//! Determinism contracts every implementation must keep:
+//!   - observe_batch() ≡ an observe() loop, bit for bit (verdict, stats,
+//!     violation) — the replay engine's foundation;
+//!   - reset() ≡ fresh construction, bit for bit, including the Figure-6
+//!     stats accounting — the instance-reuse foundation
+//!     (mon_reset_reuse_test).
 #pragma once
 
 #include <cstddef>

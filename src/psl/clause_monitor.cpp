@@ -3,15 +3,18 @@
 namespace loom::psl {
 
 ClauseMonitor::ClauseMonitor(Encoding encoding)
+    : ClauseMonitor(std::make_shared<const Encoding>(std::move(encoding))) {}
+
+ClauseMonitor::ClauseMonitor(std::shared_ptr<const Encoding> encoding)
     : encoding_(std::move(encoding)),
-      lexer_(encoding_.vocab, stats_),
-      armed_(encoding_.clauses.size(), false) {
-  for (std::size_t c = 0; c < encoding_.clauses.size(); ++c) {
-    armed_[c] = encoding_.clauses[c].initially_armed;
+      lexer_(encoding_->vocab, stats_),
+      armed_(encoding_->clauses.size(), false) {
+  for (std::size_t c = 0; c < encoding_->clauses.size(); ++c) {
+    armed_[c] = encoding_->clauses[c].initially_armed;
   }
-  range_seen_.resize(encoding_.fragments.size());
-  for (std::size_t f = 0; f < encoding_.fragments.size(); ++f) {
-    range_seen_[f].assign(encoding_.fragments[f].per_range.size(), false);
+  range_seen_.resize(encoding_->fragments.size());
+  for (std::size_t f = 0; f < encoding_->fragments.size(); ++f) {
+    range_seen_[f].assign(encoding_->fragments[f].per_range.size(), false);
   }
 }
 
@@ -31,14 +34,14 @@ void ClauseMonitor::reset_round() {
 void ClauseMonitor::process_token(spec::Name token, sim::Time time,
                                   std::size_t ordinal) {
   // [14] accounting: the whole clause network re-evaluates on every token.
-  stats_.add(encoding_.ops_per_token());
+  stats_.add(encoding_->ops_per_token());
 
-  for (std::size_t c = 0; c < encoding_.clauses.size(); ++c) {
-    const Clause& clause = encoding_.clauses[c];
+  for (std::size_t c = 0; c < encoding_->clauses.size(); ++c) {
+    const Clause& clause = encoding_->clauses[c];
     if (armed_[c] && clause.forbid.test(token)) {
       violate(ordinal, time, token,
               std::string("PSL conjunct violated (") + to_string(clause.kind) +
-                  "): " + to_string(clause.formula, encoding_.vocab.texts()));
+                  "): " + to_string(clause.formula, encoding_->vocab.texts()));
       return;
     }
     if (clause.arm.test(token)) armed_[c] = true;
@@ -46,16 +49,16 @@ void ClauseMonitor::process_token(spec::Name token, sim::Time time,
   }
 
   // Token-granular timing for timed implications.
-  if (encoding_.timed) {
+  if (encoding_->timed) {
     // Locate the token's fragment/range.
-    for (std::size_t f = 0; f < encoding_.fragments.size(); ++f) {
-      const auto& ft = encoding_.fragments[f];
+    for (std::size_t f = 0; f < encoding_->fragments.size(); ++f) {
+      const auto& ft = encoding_->fragments[f];
       for (std::size_t r = 0; r < ft.per_range.size(); ++r) {
         if (ft.per_range[r].test(token)) range_seen_[f][r] = true;
       }
     }
     auto fragment_done = [&](std::size_t f) {
-      const auto& ft = encoding_.fragments[f];
+      const auto& ft = encoding_->fragments[f];
       if (ft.join == spec::Join::Conj) {
         for (std::size_t r = 0; r < ft.per_range.size(); ++r) {
           if (!range_seen_[f][r]) return false;
@@ -69,7 +72,7 @@ void ClauseMonitor::process_token(spec::Name token, sim::Time time,
     };
     if (!armed_obligation_) {
       bool p_done = true;
-      for (std::size_t f = 0; f < encoding_.p_fragment_count; ++f) {
+      for (std::size_t f = 0; f < encoding_->p_fragment_count; ++f) {
         p_done = p_done && fragment_done(f);
       }
       if (p_done) {
@@ -79,24 +82,24 @@ void ClauseMonitor::process_token(spec::Name token, sim::Time time,
     }
     if (armed_obligation_ && !q_done_) {
       bool all_done = true;
-      for (std::size_t f = 0; f < encoding_.fragments.size(); ++f) {
+      for (std::size_t f = 0; f < encoding_->fragments.size(); ++f) {
         all_done = all_done && fragment_done(f);
       }
       if (all_done) {
         q_done_ = true;
-        if (time - t_start_ > encoding_.bound) {
+        if (time - t_start_ > encoding_->bound) {
           violate(ordinal, time, token,
                   "consequent finished after the deadline (took " +
                       (time - t_start_).to_string() + ", bound " +
-                      encoding_.bound.to_string() + ")");
+                      encoding_->bound.to_string() + ")");
           return;
         }
       }
     }
   }
 
-  if (encoding_.reset_tokens.test(token)) {
-    if (encoding_.retire_on_reset) {
+  if (encoding_->reset_tokens.test(token)) {
+    if (encoding_->retire_on_reset) {
       verdict_ = mon::Verdict::Holds;
       return;
     }
@@ -116,12 +119,12 @@ void ClauseMonitor::observe(spec::Name name, sim::Time time) {
     return;
   }
   stats_.add();  // alphabet filter
-  if (!encoding_.vocab.has_source(name)) {
+  if (!encoding_->vocab.has_source(name)) {
     stats_.end_event(before);
     return;
   }
-  if (encoding_.timed && armed_obligation_ && !q_done_ &&
-      time > t_start_ + encoding_.bound) {
+  if (encoding_->timed && armed_obligation_ && !q_done_ &&
+      time > t_start_ + encoding_->bound) {
     violate(ordinal, time, name,
             "deadline elapsed before the consequent finished");
     stats_.end_event(before);
@@ -163,14 +166,14 @@ void ClauseMonitor::finish(sim::Time end_time) {
       return;
     }
   }
-  if (encoding_.timed && armed_obligation_ && !q_done_ &&
-      end_time > t_start_ + encoding_.bound) {
+  if (encoding_->timed && armed_obligation_ && !q_done_ &&
+      end_time > t_start_ + encoding_->bound) {
     violate(ordinal_, end_time, spec::kInvalidName,
             "observation ended after the deadline with the consequent "
             "unfinished");
     return;
   }
-  if (encoding_.timed && q_done_) {
+  if (encoding_->timed && q_done_) {
     verdict_ = mon::Verdict::Monitoring;
     return;
   }
@@ -180,35 +183,35 @@ void ClauseMonitor::finish(sim::Time end_time) {
 
 void ClauseMonitor::poll(sim::Time now) {
   if (verdict_ == mon::Verdict::Violated) return;
-  if (encoding_.timed && armed_obligation_ && !q_done_ &&
-      now > t_start_ + encoding_.bound) {
+  if (encoding_->timed && armed_obligation_ && !q_done_ &&
+      now > t_start_ + encoding_->bound) {
     violate(ordinal_, now, spec::kInvalidName,
             "deadline elapsed before the consequent finished (watchdog)");
   }
 }
 
 std::optional<sim::Time> ClauseMonitor::deadline() const {
-  if (encoding_.timed && armed_obligation_ && !q_done_) {
-    return t_start_ + encoding_.bound;
+  if (encoding_->timed && armed_obligation_ && !q_done_) {
+    return t_start_ + encoding_->bound;
   }
   return std::nullopt;
 }
 
 std::size_t ClauseMonitor::space_bits() const {
-  std::size_t bits = encoding_.clause_bits() + lexer_.space_bits() + 2;
-  if (encoding_.timed) {
+  std::size_t bits = encoding_->clause_bits() + lexer_.space_bits() + 2;
+  if (encoding_->timed) {
     // PSL cannot express the real-time bound: like the paper's §5(ii)
     // construction, the ViaPSL timed monitor carries the same two sc_time
     // variables plus armed/q_done flags and per-range completion bits.
     bits += 2 * 64 + 2;
-    for (const auto& f : encoding_.fragments) bits += f.per_range.size();
+    for (const auto& f : encoding_->fragments) bits += f.per_range.size();
   }
   return bits;
 }
 
 void ClauseMonitor::reset() {
-  for (std::size_t c = 0; c < encoding_.clauses.size(); ++c) {
-    armed_[c] = encoding_.clauses[c].initially_armed;
+  for (std::size_t c = 0; c < encoding_->clauses.size(); ++c) {
+    armed_[c] = encoding_->clauses[c].initially_armed;
   }
   lexer_.reset();
   reset_round();

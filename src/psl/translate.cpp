@@ -298,4 +298,20 @@ Encoding encode(const spec::Property& p, std::size_t max_clauses,
   return encode(p.timed(), max_clauses, ab);
 }
 
+bool encodable(const spec::Property& p) {
+  // Mirror of the one shape refusal above: a timed chain (no trigger)
+  // needs a single-range final fragment as its reset point.  Antecedents
+  // always have their trigger as the reset point.  encode() inspects the
+  // back of the concatenated antecedent ++ consequent chain, so judge the
+  // same fragment — and an empty chain (never produced by the parser, but
+  // representable) has no reset point at all.
+  if (p.is_antecedent()) return true;
+  const spec::TimedImplication& t = p.timed();
+  const std::vector<spec::Fragment>& tail_side =
+      !t.consequent.fragments.empty() ? t.consequent.fragments
+                                      : t.antecedent.fragments;
+  if (tail_side.empty()) return false;
+  return tail_side.back().ranges.size() == 1;
+}
+
 }  // namespace loom::psl

@@ -124,4 +124,11 @@ Encoding encode(const spec::TimedImplication& t,
 Encoding encode(const spec::Property& p, std::size_t max_clauses = 2000000,
                 const spec::Alphabet* ab = nullptr);
 
+/// True when the property's *shape* has a ViaPSL encoding at all — the
+/// same rule encode() enforces with std::invalid_argument, kept next to it
+/// so feasibility gates (mon::CompiledProperty's Auto choice) can never
+/// drift from the translator.  Size is judged separately, against the
+/// analytic clause count of cost_model.hpp.
+bool encodable(const spec::Property& p);
+
 }  // namespace loom::psl

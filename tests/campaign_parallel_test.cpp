@@ -19,7 +19,8 @@ struct CampaignRun {
 // Each run parses into a fresh alphabet so runs cannot influence each other
 // through interned ids.
 CampaignRun run_with(const char* source, std::size_t threads, std::size_t shard_size,
-             bool viapsl = true) {
+             bool viapsl = true,
+             mon::Backend backend = mon::Backend::Auto) {
   spec::Alphabet ab;
   auto p = loom::testing::parse(source, ab);
   CampaignOptions opt;
@@ -30,6 +31,7 @@ CampaignRun run_with(const char* source, std::size_t threads, std::size_t shard_
   opt.check_viapsl = viapsl;
   opt.threads = threads;
   opt.shard_size = shard_size;
+  opt.backend = backend;
   const CampaignResult r = run_campaign(p, ab, opt);
   return {r, r.report(ab)};
 }
@@ -86,6 +88,25 @@ TEST_P(ParallelCampaign, ShardSizeDoesNotChangeTheResult) {
   expect_identical(serial, tiny_shards, "shard_size=1");
   const CampaignRun odd_shards = run_with(GetParam(), 3, 7);
   expect_identical(serial, odd_shards, "threads=3 shard_size=7");
+}
+
+TEST_P(ParallelCampaign, BackendKnobStaysDeterministicAcrossThreads) {
+  // The backend grid: whichever monitor construction executes the units,
+  // the thread count and shard size stay pure performance knobs.
+  for (const mon::Backend backend :
+       {mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL}) {
+    const CampaignRun serial =
+        run_with(GetParam(), 1, 0, /*viapsl=*/false, backend);
+    const CampaignRun eight =
+        run_with(GetParam(), 8, 1, /*viapsl=*/false, backend);
+    expect_identical(serial, eight, to_string(backend));
+    // The backend line of the report records the resolved choice.
+    EXPECT_NE(serial.report.find(std::string("backend: ") +
+                                 to_string(serial.result.compile_stats
+                                               .backend_chosen)),
+              std::string::npos)
+        << serial.report;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

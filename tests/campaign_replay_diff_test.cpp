@@ -35,7 +35,8 @@ struct CampaignRun {
 };
 
 CampaignRun run_with(const char* source, std::size_t threads, Mode mode,
-                     std::size_t seeds, bool viapsl) {
+                     std::size_t seeds, bool viapsl,
+                     mon::Backend backend = mon::Backend::Auto) {
   // A fresh alphabet per run: runs must not influence each other through
   // interned ids.
   spec::Alphabet ab;
@@ -50,6 +51,7 @@ CampaignRun run_with(const char* source, std::size_t threads, Mode mode,
   opt.shard_size = 1;  // maximal interleaving: every unit its own shard
   opt.reuse_traces = mode.reuse_traces;
   opt.batch_replay = mode.batch_replay;
+  opt.backend = backend;
   const CampaignResult r = run_campaign(p, ab, opt);
   return {r, r.report(ab)};
 }
@@ -99,6 +101,24 @@ INSTANTIATE_TEST_SUITE_P(
                       "(({a, b, c}, &) << s, false)",                 //
                       "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)",
                       "(p[2,3] => q[1,4] < r, 10us)"));
+
+TEST_P(CampaignReplayDiff, BackendGridKeepsTheCachedPathBitIdentical) {
+  // The replay invariant × the backend knob: for every backend, the
+  // cached+batched engine at 4 threads must reproduce the legacy
+  // regenerate-and-step serial run byte for byte.
+  for (const mon::Backend backend :
+       {mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL}) {
+    const CampaignRun legacy =
+        run_with(GetParam(), 1, kLegacy, 3, /*viapsl=*/false, backend);
+    const CampaignRun cached =
+        run_with(GetParam(), 4, kModes[2], 3, /*viapsl=*/false, backend);
+    const std::string what = std::string("backend=") + to_string(backend);
+    EXPECT_TRUE(loom::testing::results_identical(cached.result, legacy.result))
+        << what;
+    EXPECT_EQ(cached.report, legacy.report) << what;
+    expect_cache_counters(cached.result, kModes[2], 3, what.c_str());
+  }
+}
 
 TEST(CampaignReplayDiff, ViaPslPathIsBitIdenticalToo) {
   // The ViaPSL cross-check runs inside the valid units; the cached /

@@ -121,14 +121,22 @@ inline ::testing::AssertionResult traces_equal(const spec::Trace& actual,
 
 /// Field-wise CampaignResult comparison for the determinism / differential
 /// suites: lists every differing field by name.  The trace-cache hit/miss
-/// counters are engine diagnostics, deliberately excluded — compare them
-/// separately where a test pins them down.
+/// counters and the compiled-plan instance counters are engine
+/// diagnostics, deliberately excluded — compare them separately where a
+/// test pins them down.  The backend fields of compile_stats are semantic
+/// (they name the monitor construction behind the numbers) and do compare.
 inline ::testing::AssertionResult results_identical(
     const abv::CampaignResult& a, const abv::CampaignResult& b) {
   std::ostringstream diff;
   const auto field = [&diff](const char* name, auto x, auto y) {
     if (!(x == y)) diff << "  " << name << ": " << x << " vs " << y << "\n";
   };
+  field("compile_stats.backend_requested",
+        mon::to_string(a.compile_stats.backend_requested),
+        mon::to_string(b.compile_stats.backend_requested));
+  field("compile_stats.backend_chosen",
+        mon::to_string(a.compile_stats.backend_chosen),
+        mon::to_string(b.compile_stats.backend_chosen));
   field("traces", a.traces, b.traces);
   field("events", a.events, b.events);
   field("valid_accepted", a.valid_accepted, b.valid_accepted);

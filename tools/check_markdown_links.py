@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Scans the given markdown files (or the repo's default set) for inline
+links/images `[text](target)` and reference definitions `[id]: target`,
+and verifies that every *relative* target exists on disk (anchors are
+stripped; http(s)/mailto targets are skipped — CI must not depend on the
+network).  Exits non-zero listing every broken link.
+
+Usage: tools/check_markdown_links.py [FILE.md ...]
+"""
+import re
+import sys
+from pathlib import Path
+
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP = ("http://", "https://", "mailto:", "#")
+
+DEFAULT_SET = ["README.md", "ROADMAP.md", "PAPER.md", "PAPERS.md",
+               "CHANGES.md", "ISSUE.md"]
+
+
+def targets_of(text: str):
+    # Fenced code blocks routinely contain `[...](...)`-shaped text that
+    # is not a link; drop them before scanning.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in INLINE.finditer(text):
+        yield match.group(1)
+    for match in REFDEF.finditer(text):
+        yield match.group(1)
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    if len(argv) > 1:
+        files = [Path(a) for a in argv[1:]]
+    else:
+        files = [root / name for name in DEFAULT_SET if (root / name).exists()]
+        files += sorted((root / "docs").rglob("*.md"))
+
+    broken = []
+    checked = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        for target in targets_of(text):
+            if target.startswith(SKIP):
+                continue
+            checked += 1
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append(f"{path}: broken link -> {target}")
+
+    for line in broken:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative links in {len(files)} files, "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
