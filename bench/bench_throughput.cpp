@@ -2,6 +2,12 @@
 // Drct monitors vs the materialized ViaPSL clause monitors, plus parser
 // and stimuli-generation rates.  Complements Figure 6's abstract op counts
 // with wall-clock numbers on this host.
+//
+// The campaign benchmarks additionally print heap-allocation counters
+// (allocs/unit, allocs/mutant) from support::AllocCounter — this binary
+// links the counting operator new/delete (src/support/alloc_hooks.cpp), so
+// the zero-allocation steady state is a printed number a regression moves,
+// not folklore.
 #include <benchmark/benchmark.h>
 
 #include "abv/campaign.hpp"
@@ -10,10 +16,31 @@
 #include "psl/clause_monitor.hpp"
 #include "sim/scheduler.hpp"
 #include "spec/parser.hpp"
+#include "support/alloc_counter.hpp"
 
 namespace {
 
 using namespace loom;
+
+// Per-iteration allocation tally for the campaign loops, reported per work
+// unit (a seed's valid phase or one seed×kind mutation batch) and per
+// mutant attempt.  Thread-local counters only see the serial campaigns'
+// own thread — which is exactly the steady-state loop being measured.
+struct AllocTally {
+  std::uint64_t allocs = 0;
+  std::uint64_t units = 0;
+  std::uint64_t mutants = 0;
+
+  void report(benchmark::State& state) const {
+    if (!support::AllocCounter::hooks_linked() || units == 0) return;
+    state.counters["allocs/unit"] = benchmark::Counter(
+        static_cast<double>(allocs) / static_cast<double>(units));
+    if (mutants != 0) {
+      state.counters["allocs/mutant"] = benchmark::Counter(
+          static_cast<double>(allocs) / static_cast<double>(mutants));
+    }
+  }
+};
 
 struct Fixture {
   spec::Alphabet ab;
@@ -120,41 +147,57 @@ void BM_CampaignSharded(benchmark::State& state) {
   opt.threads = static_cast<std::size_t>(state.range(0));
   opt.shard_size = 1;
   std::uint64_t monitor_events = 0;
+  AllocTally tally;
   for (auto _ : state) {
+    support::AllocCounter::Scope scope;
     const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    tally.allocs += scope.allocs();  // workers' allocations not included
+    tally.units += opt.seeds * 6;
     monitor_events += r.monitor_stats.events;
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  tally.report(state);
   state.SetLabel("threads=" + std::to_string(opt.threads));
 }
 BENCHMARK(BM_CampaignSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_CampaignMutationHeavy(benchmark::State& state) {
-  // Mutation-heavy campaign, cached+batched vs legacy: six units per seed
-  // share one valid trace, so the per-seed cache amortizes stimuli
-  // generation 6× and mutants replay through the batched MonitorModule
-  // path.  Both runs produce bit-identical results (enforced by
-  // campaign_replay_diff_test); only the wall clock differs.
-  const bool cached = state.range(0) != 0;
+  // Mutation-heavy campaign in three gears: the fully naive engine, the
+  // PR 2 cached+batched engine, and the zero-allocation scratch engine
+  // (per-worker mutant buffers, per-shard monitor pools, hoisted replay
+  // host).  All three produce bit-identical results (enforced by
+  // campaign_replay_diff_test / campaign_scratch_diff_test); only the wall
+  // clock and the allocation counters differ — allocs/mutant drops to ~0
+  // in the scratch gear once the arena is warm.
+  const int gear = static_cast<int>(state.range(0));
   Fixture fx(kConfig[2], 4);
   abv::CampaignOptions opt;
   opt.seeds = 64;
   opt.stimuli.rounds = 16;  // long traces: regeneration is the hot path
   opt.mutants_per_kind = 4;
   opt.threads = 1;
-  opt.reuse_traces = cached;
-  opt.batch_replay = cached;
+  opt.reuse_traces = gear >= 1;
+  opt.batch_replay = gear >= 1;
+  opt.reuse_scratch = gear >= 2;
   std::uint64_t monitor_events = 0;
+  AllocTally tally;
   for (auto _ : state) {
+    support::AllocCounter::Scope scope;
     const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    tally.allocs += scope.allocs();
+    tally.units += opt.seeds * 6;
+    tally.mutants += opt.seeds * 5 * opt.mutants_per_kind;
     monitor_events += r.monitor_stats.events;
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
-  state.SetLabel(cached ? "reuse_traces+batch_replay" : "legacy");
+  tally.report(state);
+  state.SetLabel(gear == 0   ? "legacy"
+                 : gear == 1 ? "reuse_traces+batch_replay"
+                             : "+scratch arenas");
 }
-BENCHMARK(BM_CampaignMutationHeavy)->Arg(0)->Arg(1)->UseRealTime();
+BENCHMARK(BM_CampaignMutationHeavy)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
 
 void BM_CampaignCompiledPlans(benchmark::State& state) {
   // Translate-once vs translate-per-unit on the mutation-heavy shape: six
@@ -172,21 +215,30 @@ void BM_CampaignCompiledPlans(benchmark::State& state) {
   opt.threads = 1;
   opt.use_compiled_plans = compiled;
   std::uint64_t monitor_events = 0;
+  AllocTally tally;
   for (auto _ : state) {
+    support::AllocCounter::Scope scope;
     const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    tally.allocs += scope.allocs();
+    tally.units += opt.seeds * 6;
+    tally.mutants += opt.seeds * 5 * opt.mutants_per_kind;
     monitor_events += r.monitor_stats.events;
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  tally.report(state);
   state.SetLabel(compiled ? "compiled plans" : "legacy per-unit translation");
 }
 BENCHMARK(BM_CampaignCompiledPlans)->Arg(0)->Arg(1)->UseRealTime();
 
 void BM_CampaignManyProperties(benchmark::State& state) {
   // The many-property shape: run_campaigns over a batch, where the legacy
-  // engine pays one translation per (property × unit) and the compiled
-  // engine exactly one per property.
-  const bool compiled = state.range(0) != 0;
+  // engine pays one translation per (property × unit), the compiled engine
+  // exactly one per property per campaign, and the plan-cache gear exactly
+  // one per property for the whole benchmark — the long-lived-embedder
+  // steady state, where every iteration after the first recompiles
+  // nothing (CampaignOptions::plan_cache).
+  const int gear = static_cast<int>(state.range(0));
   spec::Alphabet ab;
   std::vector<spec::Property> props;
   for (const char* source : kConfig) {
@@ -202,17 +254,34 @@ void BM_CampaignManyProperties(benchmark::State& state) {
   opt.stimuli.rounds = 4;
   opt.mutants_per_kind = 12;
   opt.threads = 1;
-  opt.use_compiled_plans = compiled;
+  opt.use_compiled_plans = gear >= 1;
+  mon::CompiledPropertyCache plan_cache;
+  if (gear >= 2) opt.plan_cache = &plan_cache;
   std::uint64_t monitor_events = 0;
+  std::uint64_t plan_cache_hits = 0;
+  AllocTally tally;
   for (auto _ : state) {
+    support::AllocCounter::Scope scope;
     const auto results = abv::run_campaigns(ptrs, ab, opt);
-    for (const auto& r : results) monitor_events += r.monitor_stats.events;
+    tally.allocs += scope.allocs();
+    tally.units += opt.seeds * 6 * ptrs.size();
+    for (const auto& r : results) {
+      monitor_events += r.monitor_stats.events;
+      plan_cache_hits += r.compile_stats.plan_cache_hits;
+    }
     benchmark::DoNotOptimize(results);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
-  state.SetLabel(compiled ? "compiled plans" : "legacy per-unit translation");
+  tally.report(state);
+  if (gear >= 2) {
+    state.counters["plan_cache_hits"] = benchmark::Counter(
+        static_cast<double>(plan_cache_hits));
+  }
+  state.SetLabel(gear == 0   ? "legacy per-unit translation"
+                 : gear == 1 ? "compiled plans"
+                             : "+cross-campaign plan cache");
 }
-BENCHMARK(BM_CampaignManyProperties)->Arg(0)->Arg(1)->UseRealTime();
+BENCHMARK(BM_CampaignManyProperties)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
 
 void BM_MonitorModulePerEvent(benchmark::State& state) {
   // In-simulation stepping, one observe() per event: every step pays the

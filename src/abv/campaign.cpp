@@ -78,6 +78,77 @@ std::unique_ptr<mon::Monitor> stamp_monitor(const CampaignJob& job,
   return mon::make_monitor(*job.property);
 }
 
+}  // namespace
+
+// Per-worker scratch arena for the steady-state loop
+// (CampaignOptions::reuse_scratch).  Two lifetimes coexist inside it:
+//   - the *buffers* live for the worker: the mutant trace's capacity
+//     ratchets up once and every later mutate_into reuses it; local_trace
+//     is only a stable home for the per-unit generated trace on the
+//     cache-off path (generation itself still allocates — it is the
+//     non-default baseline knob);
+//   - the *pool* (monitor, ViaPSL cross-check instance, replay host) is
+//     scoped to one shard: begin_shard() drops it, so the draw/stamp
+//     accounting is a pure function of the deterministic shard layout and
+//     never of which worker ran which shard — that is what keeps the
+//     instance counters identical between serial and parallel runs.
+// Shards never span properties, so within a shard the pooled monitor's
+// identity is stable and the hoisted replay host can keep borrowing it.
+struct UnitScratch {
+  MutationResult mutant;       // mutate_into target, capacity reused
+  spec::Trace local_trace;     // valid trace when the seed cache is off
+  std::unique_ptr<mon::Monitor> monitor;  // chosen-backend pool slot
+  std::unique_ptr<mon::Monitor> viapsl;   // check_viapsl pool slot
+  // Hoisted batched-replay host: one kernel + module per shard, reset
+  // between mutants, watchdogs off (the kernel is never pumped, so an
+  // armed entry could never fire — skipping it keeps the timed queue
+  // empty).  Declaration order matters: the module borrows the scheduler
+  // and is destroyed first.
+  std::optional<sim::Scheduler> replay_sched;
+  std::optional<mon::MonitorModule> replay_module;
+
+  /// Drops every pooled instance; buffers keep their capacity.  Also the
+  /// end-of-shard cleanup, so nothing borrowed (monitor, alphabet) can
+  /// dangle past the campaign in a worker's thread-local scratch.
+  void begin_shard() {
+    replay_module.reset();
+    replay_sched.reset();
+    monitor.reset();
+    viapsl.reset();
+  }
+};
+
+namespace {
+
+// Draws a pooled monitor instance for one work unit of the scratch path:
+// the first draw of a shard stamps from the shared plan, every later draw
+// resets the existing instance (reset ≡ fresh, mon_reset_reuse_test) —
+// valid units and mutation units alike.
+mon::Monitor& draw_pooled(std::unique_ptr<mon::Monitor>& slot,
+                          const CampaignJob& job, const CampaignOptions& options,
+                          const spec::Alphabet& ab, mon::Backend backend,
+                          ShardOutcome& out) {
+  if (slot == nullptr) {
+    if (backend == mon::Backend::ViaPSL) {
+      slot = job.plan->compiled.instantiate(mon::Backend::ViaPSL);
+      ++out.partial.compile_stats.instances_stamped;
+    } else {
+      slot = stamp_monitor(job, options, ab, out);
+    }
+  } else {
+    slot->reset();
+    ++out.partial.compile_stats.instance_reuses;
+  }
+  return *slot;
+}
+
+// The scratch path draws from the pool only when instances are stamped
+// from shared artifacts; the legacy translate-per-unit baseline keeps its
+// fresh-translation-per-unit behavior even with scratch buffers on.
+bool pool_monitors(const CampaignOptions& options) {
+  return options.reuse_scratch && options.use_compiled_plans;
+}
+
 // The valid trace of seed `s` is a pure function of (first_seed + s): both
 // the valid phase and every mutation unit of the seed regenerate it from
 // stream 0, so no cross-unit state needs sharing.
@@ -113,17 +184,42 @@ const spec::Trace& obtain_seed_trace(const CampaignJob& job,
   return valid;
 }
 
+// The reference oracle for one unit: the scratch path hands the compiled
+// OrderingPlan back to the checker instead of letting it re-plan the
+// property per call — the plan is a pure function of the property, so the
+// verdict bytes are identical (spec/reference.hpp).
+spec::RefResult oracle_check(const CampaignJob& job,
+                             const CampaignOptions& options,
+                             const spec::Trace& trace, sim::Time end_time) {
+  if (options.reuse_scratch) {
+    return spec::reference_check(*job.property, job.plan->compiled.plan(),
+                                 trace, end_time);
+  }
+  return spec::reference_check(*job.property, trace, end_time);
+}
+
 void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
                     const CampaignOptions& options, std::size_t s,
-                    SeedTraceCache* cache, ShardOutcome& out) {
+                    SeedTraceCache* cache, UnitScratch& scratch,
+                    ShardOutcome& out) {
   const spec::Property& property = *job.property;
-  spec::Trace local;
-  const spec::Trace& valid =
-      obtain_seed_trace(job, ab, options, s, cache, out, local);
+  const spec::Trace& valid = obtain_seed_trace(job, ab, options, s, cache,
+                                               out, scratch.local_trace);
   ++out.partial.traces;
   out.partial.events += valid.size();
 
-  auto monitor = stamp_monitor(job, options, ab, out);
+  // Scratch path: draw from the shard's pool (stamp once, reset after);
+  // fresh path: stamp a throwaway instance per unit like the pre-pool
+  // engine.  reset ≡ fresh makes the two indistinguishable byte-for-byte.
+  std::unique_ptr<mon::Monitor> fresh;
+  mon::Monitor* monitor = nullptr;
+  if (pool_monitors(options)) {
+    monitor = &draw_pooled(scratch.monitor, job, options, ab,
+                           mon::Backend::Auto, out);
+  } else {
+    fresh = stamp_monitor(job, options, ab, out);
+    monitor = fresh.get();
+  }
   // Recognizer-state coverage samples the Drct antecedent recognizer; a
   // ViaPSL-backed campaign has no such structure to sample.
   std::optional<RecognizerCoverage> rec_cov;
@@ -146,7 +242,7 @@ void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
     }
   }
 
-  const auto ref = spec::reference_check(property, valid, end_of(valid));
+  const auto ref = oracle_check(job, options, valid, end_of(valid));
   const bool monitor_ok = monitor->verdict() != mon::Verdict::Violated;
   if (monitor_ok && !ref.rejected()) ++out.partial.valid_accepted;
   if (monitor_ok == ref.rejected()) ++out.partial.oracle_disagreements;
@@ -154,9 +250,18 @@ void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
 
   if (options.check_viapsl) {
     // The cross-check always instantiates from the shared clause set (the
-    // pre-plan engine shared its encodings the same way).
-    auto viapsl = job.plan->compiled.instantiate(mon::Backend::ViaPSL);
-    ++out.partial.compile_stats.instances_stamped;
+    // pre-plan engine shared its encodings the same way); the scratch path
+    // additionally pools the instance per shard.
+    std::unique_ptr<mon::Monitor> fresh_viapsl;
+    mon::Monitor* viapsl = nullptr;
+    if (pool_monitors(options)) {
+      viapsl = &draw_pooled(scratch.viapsl, job, options, ab,
+                            mon::Backend::ViaPSL, out);
+    } else {
+      fresh_viapsl = job.plan->compiled.instantiate(mon::Backend::ViaPSL);
+      ++out.partial.compile_stats.instances_stamped;
+      viapsl = fresh_viapsl.get();
+    }
     for (const auto& ev : valid) viapsl->observe(ev.name, ev.time);
     viapsl->finish(end_of(valid));
     if (!ref.rejected() && viapsl->verdict() == mon::Verdict::Violated) {
@@ -169,42 +274,77 @@ void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
 void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
                        const CampaignOptions& options, std::size_t s,
                        std::size_t slot, SeedTraceCache* cache,
-                       ShardOutcome& out) {
+                       UnitScratch& scratch, ShardOutcome& out) {
   LOOM_DASSERT(slot >= 1 && slot < kSlotsPerSeed);
   const spec::Property& property = *job.property;
-  spec::Trace local;
-  const spec::Trace& valid =
-      obtain_seed_trace(job, ab, options, s, cache, out, local);
+  const spec::Trace& valid = obtain_seed_trace(job, ab, options, s, cache,
+                                               out, scratch.local_trace);
   const std::size_t k = slot - 1;
   auto& stats = out.partial.mutation[k];
   support::Rng rng = support::Rng::stream(options.first_seed + s, slot);
-  // Compiled path: the unit stamps one instance on first need and reuses
-  // it across its mutants via Monitor::reset() (fresh ≡ reset, locked by
-  // mon_reset_reuse_test).  Legacy path: a fresh translation per mutant.
-  std::unique_ptr<mon::Monitor> mmon;
+  const bool pooled = pool_monitors(options);
+  // Fresh-path monitor: stamped per unit (compiled) or per mutant (legacy
+  // translation), exactly like the pre-scratch engine.  The scratch path
+  // draws from the shard pool instead.
+  std::unique_ptr<mon::Monitor> fresh;
+  std::optional<MutationResult> fresh_mutant;
   for (std::size_t m = 0; m < options.mutants_per_kind; ++m) {
-    auto mutant = mutate(valid, kAllKinds[k], property, rng);
-    if (!mutant) continue;
+    // Scratch path: write the mutant into the worker's reusable buffer
+    // (identical bytes and Rng draws — mutate() is the same code).  The
+    // compiled alphabet snapshot saves the per-call NameSet rebuild.
+    const MutationResult* mutant = nullptr;
+    if (options.reuse_scratch) {
+      if (!mutate_into(valid, kAllKinds[k], property,
+                       job.plan->compiled.alphabet(), rng, scratch.mutant)) {
+        continue;
+      }
+      mutant = &scratch.mutant;
+    } else {
+      fresh_mutant = mutate(valid, kAllKinds[k], property, rng);
+      if (!fresh_mutant) continue;
+      mutant = &*fresh_mutant;
+    }
     ++stats.applied;
     const auto mref =
-        spec::reference_check(property, mutant->trace, end_of(mutant->trace));
+        oracle_check(job, options, mutant->trace, end_of(mutant->trace));
     if (!mref.rejected()) continue;
     ++stats.invalid;
-    if (mmon == nullptr || !options.use_compiled_plans) {
-      mmon = stamp_monitor(job, options, ab, out);
+    mon::Monitor* mmon = nullptr;
+    if (pooled) {
+      mmon = &draw_pooled(scratch.monitor, job, options, ab,
+                          mon::Backend::Auto, out);
+    } else if (fresh == nullptr || !options.use_compiled_plans) {
+      fresh = stamp_monitor(job, options, ab, out);
+      mmon = fresh.get();
     } else {
-      mmon->reset();
+      fresh->reset();
       ++out.partial.compile_stats.instance_reuses;
+      mmon = fresh.get();
     }
     if (options.batch_replay) {
-      // In-simulation replay host, scoped per mutant: the kernel only
-      // supplies the watchdog queue, which is never pumped — deadline
-      // checks happen in finish(), exactly as on the per-event path — and
-      // whatever the module armed dies with it right here.
-      sim::Scheduler replay_sched;
-      mon::MonitorModule module(replay_sched, "replay", *mmon, ab);
-      module.observe_batch(mutant->trace,
-                           mon::MonitorModule::BatchPolicy::ReplayAll);
+      if (options.reuse_scratch && pooled) {
+        // Hoisted replay host: one kernel + module per shard, reset
+        // between mutants, watchdogs off (the kernel is never pumped, so
+        // the armed entry could never fire — finish() still runs every
+        // deadline check, exactly as on the per-event path).
+        if (!scratch.replay_module) {
+          scratch.replay_sched.emplace();
+          scratch.replay_module.emplace(*scratch.replay_sched, "replay",
+                                        *mmon, ab);
+          scratch.replay_module->set_arm_watchdogs(false);
+        } else {
+          scratch.replay_module->reset();
+        }
+        scratch.replay_module->observe_batch(
+            mutant->trace, mon::MonitorModule::BatchPolicy::ReplayAll);
+      } else {
+        // Fresh baseline: in-simulation replay host scoped per mutant —
+        // whatever the module armed dies with it right here.
+        sim::Scheduler replay_sched;
+        mon::MonitorModule module(replay_sched, "replay", *mmon, ab);
+        module.observe_batch(mutant->trace,
+                             mon::MonitorModule::BatchPolicy::ReplayAll);
+      }
     } else {
       for (const auto& ev : mutant->trace) {
         mmon->observe(ev.name, ev.time);
@@ -222,8 +362,13 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
 
 void run_shard(const std::vector<CampaignJob>& jobs, spec::Alphabet& ab,
                const CampaignOptions& options, const Shard& shard,
-               SeedTraceCache* cache, ShardOutcome& out) {
+               SeedTraceCache* cache, UnitScratch& scratch,
+               ShardOutcome& out) {
   const CampaignJob& job = jobs[shard.job];
+  // Fresh pool + replay host per shard (buffers keep their capacity): the
+  // instance accounting stays a pure function of the shard layout, and
+  // nothing borrowed survives in a worker's scratch past this campaign.
+  scratch.begin_shard();
   out.alphabet.emplace(job.property->alphabet());
   // Workers share the one alphabet without locks or copies: setup
   // pre-interned every name stimuli generation touches, and noise_pool()
@@ -232,11 +377,12 @@ void run_shard(const std::vector<CampaignJob>& jobs, spec::Alphabet& ab,
     const std::size_t s = u / kSlotsPerSeed;
     const std::size_t slot = u % kSlotsPerSeed;
     if (slot == 0) {
-      run_valid_unit(job, ab, options, s, cache, out);
+      run_valid_unit(job, ab, options, s, cache, scratch, out);
     } else {
-      run_mutation_unit(job, ab, options, s, slot, cache, out);
+      run_mutation_unit(job, ab, options, s, slot, cache, scratch, out);
     }
   }
+  scratch.begin_shard();  // end-of-shard cleanup (see UnitScratch)
 }
 
 }  // namespace
@@ -254,8 +400,21 @@ std::vector<PropertyPlan> compile_property_plans(
     PropertyPlan& plan = plans[p];
     plan.property = properties[p];
     plan.index = p;
-    plan.compiled = mon::CompiledProperty::compile(*properties[p], ab, copt);
-    plan.base_stats.plans_built = 1;
+    if (options.plan_cache != nullptr) {
+      // Cross-campaign memoization: a hit shares an earlier campaign's
+      // immutable artifacts (CompiledProperty is a cheap handle copy), a
+      // miss compiles and publishes for the next campaign.  plans_built
+      // counts actual translations, so hits leave it at 0.
+      bool compiled_now = false;
+      plan.compiled = options.plan_cache->get_or_compile(*properties[p], ab,
+                                                         copt, &compiled_now);
+      plan.base_stats.plans_built = compiled_now ? 1 : 0;
+      plan.base_stats.plan_cache_hits = compiled_now ? 0 : 1;
+      plan.base_stats.plan_cache_misses = compiled_now ? 1 : 0;
+    } else {
+      plan.compiled = mon::CompiledProperty::compile(*properties[p], ab, copt);
+      plan.base_stats.plans_built = 1;
+    }
     plan.base_stats.viapsl_encodings =
         plan.compiled.encoding() != nullptr ? 1 : 0;
     plan.base_stats.backend_requested = plan.compiled.requested();
@@ -305,13 +464,19 @@ std::vector<CampaignResult> run_campaigns(
   if (options.reuse_traces) trace_cache.emplace(/*shard_count=*/4 * threads);
   SeedTraceCache* cache = trace_cache ? &*trace_cache : nullptr;
   if (threads <= 1 || shards.size() <= 1) {
+    UnitScratch scratch;  // one worker: the caller's thread
     for (std::size_t i = 0; i < shards.size(); ++i) {
-      run_shard(jobs, ab, options, shards[i], cache, outcomes[i]);
+      run_shard(jobs, ab, options, shards[i], cache, scratch, outcomes[i]);
     }
   } else {
     support::ThreadPool pool(std::min(threads, shards.size()));
     pool.for_each_index(shards.size(), [&](std::size_t i) {
-      run_shard(jobs, ab, options, shards[i], cache, outcomes[i]);
+      // One arena per worker thread, reused across every shard the worker
+      // happens to run (and across campaigns on the caller's thread): the
+      // buffers' capacity ratchets, while run_shard scopes the pooled
+      // instances so the scratch never outlives anything it borrows.
+      static thread_local UnitScratch scratch;
+      run_shard(jobs, ab, options, shards[i], cache, scratch, outcomes[i]);
     });
   }
 

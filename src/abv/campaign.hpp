@@ -22,9 +22,10 @@
 //!   serial ≡ parallel        (campaign_parallel_test)
 //!   cached replay ≡ live     (campaign_replay_diff_test)
 //!   compiled ≡ per-unit      (compiled_plan_diff_test)
-//! A run with threads=N, any shard size, any cache/batch/plan knob setting
-//! is bit-identical to the serial legacy run — same counts, same coverage
-//! ratios, same report text.
+//!   scratch/pooled ≡ fresh   (campaign_scratch_diff_test)
+//! A run with threads=N, any shard size, any cache/batch/plan/scratch knob
+//! setting is bit-identical to the serial legacy run — same counts, same
+//! coverage ratios, same report text.
 #pragma once
 
 #include <string>
@@ -79,6 +80,25 @@ struct CampaignOptions {
   /// call per mutant, ReplayAll policy) instead of a raw per-event
   /// observe() loop.  Result-neutral by the same contract.
   bool batch_replay = true;
+
+  /// Run the steady-state loop out of per-worker scratch arenas: mutants
+  /// are written into a reusable trace buffer (abv::mutate_into), the
+  /// batched replay host (sim::Scheduler + mon::MonitorModule) is hoisted
+  /// out of the mutant loop and reset between mutants, the reference
+  /// oracle reuses the compiled OrderingPlan, and — on the compiled-plans
+  /// path — a per-shard monitor pool lets *valid* units draw/reset()
+  /// instances exactly like mutation units (counted via
+  /// compile_stats.instance_reuses).  Off re-allocates everything fresh per
+  /// mutant like the pre-scratch engine; the fourth differential invariant
+  /// (campaign_scratch_diff_test) holds the two paths byte-for-byte equal.
+  bool reuse_scratch = true;
+
+  /// Optional cross-campaign plan cache (borrowed; must outlive the call):
+  /// when set, compile_property_plans() memoizes each property's
+  /// translate-once artifacts under its normalized text, so repeated
+  /// run_campaigns() calls in long-lived embedders skip recompilation.
+  /// The hit/miss split lands in CampaignResult::compile_stats.
+  mon::CompiledPropertyCache* plan_cache = nullptr;
 };
 
 struct MutationStats {
@@ -106,6 +126,12 @@ struct CompileStats {
   std::size_t viapsl_encodings = 0;   // materialized clause sets
   std::size_t instances_stamped = 0;  // monitors constructed for work units
   std::size_t instance_reuses = 0;    // Monitor::reset() reuses of those
+  /// Cross-campaign plan-cache split (both 0 without a plan_cache): a miss
+  /// compiled this property fresh, a hit reused an earlier campaign's
+  /// artifacts.  Diagnostics like the instance counters — deterministic
+  /// for a given cache history, excluded from report().
+  std::size_t plan_cache_hits = 0;
+  std::size_t plan_cache_misses = 0;
   mon::Backend backend_requested = mon::Backend::Auto;
   mon::Backend backend_chosen = mon::Backend::Drct;
 
@@ -116,6 +142,8 @@ struct CompileStats {
     viapsl_encodings += other.viapsl_encodings;
     instances_stamped += other.instances_stamped;
     instance_reuses += other.instance_reuses;
+    plan_cache_hits += other.plan_cache_hits;
+    plan_cache_misses += other.plan_cache_misses;
   }
 };
 

@@ -17,56 +17,74 @@ const char* to_string(MutationKind k) {
 
 namespace {
 
-/// Indices of trace events that belong to the property alphabet.
-std::vector<std::size_t> relevant_positions(const spec::Trace& trace,
-                                            const spec::NameSet& alphabet) {
-  std::vector<std::size_t> out;
+/// Collects the indices of trace events that belong to the property
+/// alphabet into `out` (cleared first; capacity reused across calls).
+void relevant_positions_into(const spec::Trace& trace,
+                             const spec::NameSet& alphabet,
+                             std::vector<std::size_t>& out) {
+  out.clear();
   for (std::size_t k = 0; k < trace.size(); ++k) {
     if (alphabet.test(trace[k].name)) out.push_back(k);
   }
-  return out;
+}
+
+/// Copies `src` into `dst` with room for one extra event, reusing `dst`'s
+/// capacity.  Every operator below rebuilds the mutant from the source
+/// trace, so a dirty scratch from an earlier call can never leak through.
+void copy_with_headroom(const spec::Trace& src, spec::Trace& dst) {
+  dst.clear();
+  dst.reserve(src.size() + 1);
+  dst.insert(dst.end(), src.begin(), src.end());
 }
 
 }  // namespace
 
-std::optional<MutationResult> mutate(const spec::Trace& trace,
-                                     MutationKind kind,
-                                     const spec::Property& property,
-                                     support::Rng& rng) {
-  const spec::NameSet alphabet = property.alphabet();
-  const auto sites = relevant_positions(trace, alphabet);
-  MutationResult result;
-  result.kind = kind;
-  result.trace = trace;
+bool mutate_into(const spec::Trace& trace, MutationKind kind,
+                 const spec::Property& property,
+                 const spec::NameSet& alphabet, support::Rng& rng,
+                 MutationResult& out) {
+  // One site index per thread: content is recomputed from scratch each
+  // call, so reuse is invisible to results — it only avoids the per-call
+  // vector growth the profile showed.
+  thread_local std::vector<std::size_t> sites;
+  relevant_positions_into(trace, alphabet, sites);
+  out.kind = kind;
+  spec::Trace& t = out.trace;
 
   switch (kind) {
     case MutationKind::Drop: {
-      if (sites.empty()) return std::nullopt;
+      if (sites.empty()) return false;
       const std::size_t pos = sites[rng.below(sites.size())];
-      result.trace.erase(result.trace.begin() + static_cast<long>(pos));
-      result.position = pos;
-      return result;
+      t.clear();
+      t.reserve(trace.size());
+      t.insert(t.end(), trace.begin(),
+               trace.begin() + static_cast<long>(pos));
+      t.insert(t.end(), trace.begin() + static_cast<long>(pos) + 1,
+               trace.end());
+      out.position = pos;
+      return true;
     }
     case MutationKind::Duplicate: {
-      if (sites.empty()) return std::nullopt;
+      if (sites.empty()) return false;
       const std::size_t pos = sites[rng.below(sites.size())];
       spec::TimedEvent copy = trace[pos];
       copy.time = copy.time + sim::Time::ps(1);
-      result.trace.insert(result.trace.begin() + static_cast<long>(pos) + 1,
-                          copy);
-      result.position = pos;
-      return result;
+      copy_with_headroom(trace, t);
+      t.insert(t.begin() + static_cast<long>(pos) + 1, copy);
+      out.position = pos;
+      return true;
     }
     case MutationKind::SwapAdjacent: {
       // Swap the names of two consecutive relevant events (times stay put,
       // so the trace remains chronologically ordered).
-      if (sites.size() < 2) return std::nullopt;
+      if (sites.size() < 2) return false;
       const std::size_t k = rng.below(sites.size() - 1);
       const std::size_t a = sites[k], b = sites[k + 1];
-      if (result.trace[a].name == result.trace[b].name) return std::nullopt;
-      std::swap(result.trace[a].name, result.trace[b].name);
-      result.position = a;
-      return result;
+      if (trace[a].name == trace[b].name) return false;
+      t.assign(trace.begin(), trace.end());
+      std::swap(t[a].name, t[b].name);
+      out.position = a;
+      return true;
     }
     case MutationKind::EarlyTrigger: {
       spec::Name reset = spec::kInvalidName;
@@ -76,27 +94,44 @@ std::optional<MutationResult> mutate(const spec::Trace& trace,
         const auto& frags = property.timed().consequent.fragments;
         reset = frags.back().ranges.front().name;
       }
-      if (trace.empty()) return std::nullopt;
+      if (trace.empty()) return false;
       const std::size_t pos = rng.below(trace.size());
-      spec::TimedEvent ev{reset, trace[pos].time + sim::Time::ps(1)};
-      result.trace.insert(result.trace.begin() + static_cast<long>(pos) + 1,
-                          ev);
-      result.position = pos + 1;
-      return result;
+      const spec::TimedEvent ev{reset, trace[pos].time + sim::Time::ps(1)};
+      copy_with_headroom(trace, t);
+      t.insert(t.begin() + static_cast<long>(pos) + 1, ev);
+      out.position = pos + 1;
+      return true;
     }
     case MutationKind::StallDeadline: {
-      if (!property.is_timed() || trace.size() < 2) return std::nullopt;
+      if (!property.is_timed() || trace.size() < 2) return false;
       const sim::Time bound = property.timed().bound;
       const std::size_t pos = 1 + rng.below(trace.size() - 1);
       const sim::Time shift = bound + bound + sim::Time::ns(1);
-      for (std::size_t k = pos; k < result.trace.size(); ++k) {
-        result.trace[k].time = result.trace[k].time + shift;
+      t.assign(trace.begin(), trace.end());
+      for (std::size_t k = pos; k < t.size(); ++k) {
+        t[k].time = t[k].time + shift;
       }
-      result.position = pos;
-      return result;
+      out.position = pos;
+      return true;
     }
   }
-  return std::nullopt;
+  return false;
+}
+
+bool mutate_into(const spec::Trace& trace, MutationKind kind,
+                 const spec::Property& property, support::Rng& rng,
+                 MutationResult& out) {
+  const spec::NameSet alphabet = property.alphabet();
+  return mutate_into(trace, kind, property, alphabet, rng, out);
+}
+
+std::optional<MutationResult> mutate(const spec::Trace& trace,
+                                     MutationKind kind,
+                                     const spec::Property& property,
+                                     support::Rng& rng) {
+  MutationResult result;
+  if (!mutate_into(trace, kind, property, rng, result)) return std::nullopt;
+  return result;
 }
 
 }  // namespace loom::abv

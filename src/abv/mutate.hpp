@@ -8,12 +8,20 @@
 //! swap inside a fragment is legal by design!): callers decide expected
 //! verdicts with the reference checker.
 //!
-//! Ownership: mutate() returns a fresh trace; inputs are never modified.
+//! Ownership: mutate() returns a fresh trace; mutate_into() writes into a
+//! caller-owned MutationResult, reusing its buffer's capacity across calls
+//! (the campaign engine's per-worker scratch); inputs are never modified.
 //! Thread-safety: pure functions of (trace, property, rng) — safe to call
-//! concurrently as long as each caller owns its Rng.
+//! concurrently as long as each caller owns its Rng and, for mutate_into,
+//! its output scratch (a small thread-local site index is reused
+//! internally, which keeps both entry points allocation-free in steady
+//! state without changing any result).
 //! Determinism: a given Rng stream yields the same mutant sequence on any
 //! thread; the campaign engine keys streams by (seed, mutation slot) so
-//! its mutants never depend on scheduling.
+//! its mutants never depend on scheduling.  mutate_into() is byte-identical
+//! to mutate() — same Rng draws, same MutationResult — even when the
+//! scratch arrives dirty from an unrelated earlier call (locked by
+//! tests/campaign_scratch_diff_test.cpp).
 #pragma once
 
 #include <optional>
@@ -46,5 +54,24 @@ std::optional<MutationResult> mutate(const spec::Trace& trace,
                                      MutationKind kind,
                                      const spec::Property& property,
                                      support::Rng& rng);
+
+/// In-place form: writes the mutant into `out`, reusing the trace buffer's
+/// capacity so steady-state callers allocate nothing.  Returns false (and
+/// leaves `out.trace` in an unspecified-but-valid state) when the trace
+/// offers no applicable site — exactly when mutate() returns nullopt, with
+/// identical Rng consumption either way.
+bool mutate_into(const spec::Trace& trace, MutationKind kind,
+                 const spec::Property& property, support::Rng& rng,
+                 MutationResult& out);
+
+/// Precomputed-alphabet form, for callers that already hold the property's
+/// alphabet (the campaign engine reuses the compiled plan's snapshot): the
+/// only fully allocation-free entry point, since the convenience overloads
+/// must materialize a fresh NameSet per call.  `alphabet` must equal
+/// property.alphabet().
+bool mutate_into(const spec::Trace& trace, MutationKind kind,
+                 const spec::Property& property,
+                 const spec::NameSet& alphabet, support::Rng& rng,
+                 MutationResult& out);
 
 }  // namespace loom::abv

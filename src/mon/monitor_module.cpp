@@ -38,6 +38,11 @@ void MonitorModule::finish() {
   after_step();
 }
 
+void MonitorModule::reset() {
+  disarm_watchdog();
+  violation_reported_ = false;
+}
+
 void MonitorModule::after_step() {
   if (!violation_reported_ && monitor_.verdict() == Verdict::Violated &&
       monitor_.violation().has_value()) {
@@ -48,6 +53,7 @@ void MonitorModule::after_step() {
 }
 
 void MonitorModule::arm_watchdog() {
+  if (!arm_watchdogs_) return;
   const auto deadline = monitor_.deadline();
   if (!deadline.has_value()) {
     if (watchdog_token_ != nullptr) *watchdog_token_ = true;  // disarm

@@ -11,8 +11,9 @@
 //! must outlive it; its destructor disarms any still-queued watchdog so a
 //! dead module is never called back.
 //! Thread-safety: none — modules live on the (single-threaded) simulation
-//! kernel; the campaign engine scopes one throwaway kernel + module per
-//! replayed mutant inside each worker.
+//! kernel; the campaign engine scopes one kernel + module per worker shard
+//! (reset() between mutants, watchdog arming off) on its scratch path, and
+//! one throwaway pair per replayed mutant on the fresh baseline path.
 //! Determinism: observe_batch(ReplayAll) is bit-identical to a per-event
 //! observe() loop — verdict, stats and violation alike (mon_batch_test,
 //! campaign_replay_diff_test); StopAtViolation intentionally stops early
@@ -71,6 +72,26 @@ class MonitorModule final : public sim::Module {
   /// Ends observation (typically at the end of simulation).
   void finish();
 
+  /// Re-arms the module for a fresh observation run over the same monitor:
+  /// disarms any queued watchdog and forgets the reported violation, so the
+  /// callbacks fire again on the next one.  The borrowed monitor is reset
+  /// separately (Monitor::reset()); together the pair is bit-identical to
+  /// constructing a fresh module + fresh monitor — the campaign engine's
+  /// hoisted replay host resets one host per mutant instead of building
+  /// one (campaign_scratch_diff_test locks the equivalence).
+  void reset();
+
+  /// Toggles watchdog arming (default on).  A pure replay host whose
+  /// scheduler is never pumped gains nothing from the queued entry — it
+  /// can never fire — so the campaign's scratch path turns arming off to
+  /// keep the kernel's timed queue empty across thousands of mutants.
+  /// Observable behavior is unchanged wherever the scheduler never runs;
+  /// in-simulation users must leave it on.
+  void set_arm_watchdogs(bool arm) {
+    arm_watchdogs_ = arm;
+    if (!arm) disarm_watchdog();
+  }
+
   Monitor& monitor() { return monitor_; }
   const spec::Alphabet& alphabet() const { return alphabet_; }
 
@@ -82,11 +103,17 @@ class MonitorModule final : public sim::Module {
  private:
   void after_step();
   void arm_watchdog();
+  void disarm_watchdog() {
+    if (watchdog_token_ != nullptr) *watchdog_token_ = true;
+    watchdog_token_ = nullptr;
+    armed_deadline_.reset();
+  }
 
   Monitor& monitor_;
   const spec::Alphabet& alphabet_;
   std::vector<ViolationCallback> callbacks_;
   bool violation_reported_ = false;
+  bool arm_watchdogs_ = true;
   std::optional<sim::Time> armed_deadline_;
   sim::Scheduler::CancelToken watchdog_token_;
 };

@@ -13,8 +13,14 @@ constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
 /// timed implications) using block-greedy matching over the projected trace.
 class RoundWalker {
  public:
-  explicit RoundWalker(const OrderingPlan& plan) : plan_(plan) {
-    counts_.resize(plan.alphabet.capacity(), 0);
+  RoundWalker() = default;
+  explicit RoundWalker(const OrderingPlan& plan) { bind(plan); }
+
+  /// (Re)attaches the walker to a plan and restores the initial state,
+  /// reusing the buffers' capacity — the pooled-walker entry point.
+  void bind(const OrderingPlan& plan) {
+    plan_ = &plan;
+    counts_.resize(plan.alphabet.capacity());
     reset();
   }
 
@@ -31,7 +37,7 @@ class RoundWalker {
 
   /// Processes one projected event.  On Error, `reason()` explains why.
   Step step(Name name, sim::Time time) {
-    const FragmentPlan& f = plan_.fragments[k_];
+    const FragmentPlan& f = plan_->fragments[k_];
     if (f.alphabet.test(name)) {
       consumed_ = true;
       const RangePlan& r = range_of(f, name);
@@ -88,15 +94,15 @@ class RoundWalker {
       closed_.clear();
       frag_min_complete_ = false;
       for (const auto& rp : f.ranges) counts_[rp.name] = 0;
-      if (k_ == plan_.fragments.size()) return Step::RoundCompleted;
+      if (k_ == plan_->fragments.size()) return Step::RoundCompleted;
       return step(name, time);  // same event opens the next fragment
     }
     // Out-of-place name: classify for the diagnostic.
-    if (plan_.terminal.test(name)) {
+    if (plan_->terminal.test(name)) {
       return fail("trigger observed before the pattern was recognized");
     }
-    for (std::size_t j = 0; j < plan_.fragments.size(); ++j) {
-      if (plan_.fragments[j].alphabet.test(name)) {
+    for (std::size_t j = 0; j < plan_->fragments.size(); ++j) {
+      if (plan_->fragments[j].alphabet.test(name)) {
         return fail(j < k_ ? "name belongs to an already-completed fragment"
                            : "name belongs to a later fragment");
       }
@@ -137,7 +143,7 @@ class RoundWalker {
     return Step::Error;
   }
 
-  const OrderingPlan& plan_;
+  const OrderingPlan* plan_ = nullptr;
   std::size_t k_ = 0;
   Name current_ = kInvalidName;
   NameSet closed_;
@@ -147,6 +153,16 @@ class RoundWalker {
   sim::Time frag_min_time_;
   std::string reason_;
 };
+
+// One walker per thread, rebound per check: the checks are not reentrant
+// and every bind() rebuilds the full state from the plan, so reuse is
+// invisible to results — it only drops the per-call buffer allocations
+// that dominated the campaign engine's per-mutant oracle checks.
+RoundWalker& pooled_walker(const OrderingPlan& plan) {
+  thread_local RoundWalker walker;
+  walker.bind(plan);
+  return walker;
+}
 
 }  // namespace
 
@@ -160,8 +176,12 @@ const char* to_string(RefVerdict v) {
 }
 
 RefResult reference_check(const Antecedent& a, const Trace& trace) {
-  const OrderingPlan plan = plan_antecedent(a);
-  RoundWalker walker(plan);
+  return reference_check(a, plan_antecedent(a), trace);
+}
+
+RefResult reference_check(const Antecedent& a, const OrderingPlan& plan,
+                          const Trace& trace) {
+  RoundWalker& walker = pooled_walker(plan);
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const auto& ev = trace[i];
     if (!plan.alphabet.test(ev.name)) continue;  // projection
@@ -183,10 +203,14 @@ RefResult reference_check(const Antecedent& a, const Trace& trace) {
 
 RefResult reference_check(const TimedImplication& t, const Trace& trace,
                           sim::Time end_time) {
-  const OrderingPlan plan = plan_timed(t);
+  return reference_check(t, plan_timed(t), trace, end_time);
+}
+
+RefResult reference_check(const TimedImplication& t, const OrderingPlan& plan,
+                          const Trace& trace, sim::Time end_time) {
   const std::size_t p_last = plan.p_boundary - 1;
   const std::size_t q_last = plan.fragments.size() - 1;
-  RoundWalker walker(plan);
+  RoundWalker& walker = pooled_walker(plan);
 
   bool armed = false;    // P min-complete, obligation running
   bool q_done = false;   // Q min-complete in this round
@@ -259,6 +283,12 @@ RefResult reference_check(const Property& p, const Trace& trace,
                           sim::Time end_time) {
   if (p.is_antecedent()) return reference_check(p.antecedent(), trace);
   return reference_check(p.timed(), trace, end_time);
+}
+
+RefResult reference_check(const Property& p, const OrderingPlan& plan,
+                          const Trace& trace, sim::Time end_time) {
+  if (p.is_antecedent()) return reference_check(p.antecedent(), plan, trace);
+  return reference_check(p.timed(), plan, trace, end_time);
 }
 
 }  // namespace loom::spec

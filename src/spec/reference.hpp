@@ -54,4 +54,20 @@ RefResult reference_check(const TimedImplication& t, const Trace& trace,
 RefResult reference_check(const Property& p, const Trace& trace,
                           sim::Time end_time);
 
+struct OrderingPlan;  // spec/attributes.hpp
+
+/// Plan-reusing forms: identical semantics, but the caller supplies the
+/// property's flattened OrderingPlan (plan_antecedent / plan_timed — e.g.
+/// mon::CompiledProperty::plan()) instead of this function re-planning on
+/// every call.  The plan is a pure function of the property, so the result
+/// is byte-identical either way; the campaign engine's steady-state loop
+/// checks thousands of mutants per property and uses these to pay the
+/// planning cost once.
+RefResult reference_check(const Antecedent& a, const OrderingPlan& plan,
+                          const Trace& trace);
+RefResult reference_check(const TimedImplication& t, const OrderingPlan& plan,
+                          const Trace& trace, sim::Time end_time);
+RefResult reference_check(const Property& p, const OrderingPlan& plan,
+                          const Trace& trace, sim::Time end_time);
+
 }  // namespace loom::spec

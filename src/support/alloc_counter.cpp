@@ -1,0 +1,33 @@
+#include "support/alloc_counter.hpp"
+
+#include <atomic>
+
+namespace loom::support {
+namespace {
+
+// Trivially-destructible per-thread tally: safe to touch from operator new
+// during static initialization and thread shutdown alike.
+thread_local AllocCounter::Totals t_totals;
+
+std::atomic<bool> g_hooks_linked{false};
+
+}  // namespace
+
+AllocCounter::Totals AllocCounter::totals() noexcept { return t_totals; }
+
+void AllocCounter::note_alloc(std::size_t bytes) noexcept {
+  ++t_totals.allocs;
+  t_totals.bytes += bytes;
+}
+
+void AllocCounter::note_free() noexcept { ++t_totals.frees; }
+
+bool AllocCounter::hooks_linked() noexcept {
+  return g_hooks_linked.load(std::memory_order_relaxed);
+}
+
+void AllocCounter::mark_hooks_linked() noexcept {
+  g_hooks_linked.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace loom::support

@@ -1,0 +1,60 @@
+//! Thread-local heap-allocation tally for the zero-allocation benchmarks.
+//!
+//! The counters only move when the replacement global operator new/delete
+//! in src/support/alloc_hooks.cpp is linked into the binary — the benches
+//! and the alloc-counter test opt in; the library itself never replaces
+//! global new, so embedders are unaffected.  hooks_linked() reports whether
+//! the hooks registered, letting callers print "n/a" instead of a silent 0.
+//!
+//! Ownership: the tallies are per-thread statics; there is nothing to own.
+//! Thread-safety: every counter is thread-local — a Scope only sees the
+//! allocations of the thread that created it (which is exactly what the
+//! per-worker steady-state measurements want).
+//! Determinism: counting is observation only; linking the hooks cannot
+//! change any program result, just the tally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace loom::support {
+
+class AllocCounter {
+ public:
+  struct Totals {
+    std::uint64_t allocs = 0;  // operator new / new[] calls
+    std::uint64_t frees = 0;   // operator delete / delete[] calls
+    std::uint64_t bytes = 0;   // bytes requested from operator new
+  };
+
+  /// This thread's tally since thread start (all zero without the hooks).
+  static Totals totals() noexcept;
+
+  /// Entry points for the replacement operators in alloc_hooks.cpp.
+  static void note_alloc(std::size_t bytes) noexcept;
+  static void note_free() noexcept;
+
+  /// True when alloc_hooks.cpp was linked into this binary.
+  static bool hooks_linked() noexcept;
+  static void mark_hooks_linked() noexcept;
+
+  /// RAII window: the calling thread's allocations since construction.
+  class Scope {
+   public:
+    Scope() noexcept : start_(totals()) {}
+    std::uint64_t allocs() const noexcept {
+      return totals().allocs - start_.allocs;
+    }
+    std::uint64_t frees() const noexcept {
+      return totals().frees - start_.frees;
+    }
+    std::uint64_t bytes() const noexcept {
+      return totals().bytes - start_.bytes;
+    }
+
+   private:
+    Totals start_;
+  };
+};
+
+}  // namespace loom::support

@@ -1,0 +1,104 @@
+// Replacement global operator new/delete feeding support::AllocCounter.
+//
+// Deliberately NOT part of the loom library: a static library must not
+// impose replaced allocation operators on every embedder.  Targets that
+// want heap tallies (bench_throughput, support_alloc_counter_test) add
+// this file to their own sources; everything else keeps the toolchain's
+// operators.  The hooks forward to malloc/free and bump the thread-local
+// counters — no alignment games beyond what aligned-new requires, no
+// behavior change besides the tally.
+#include <cstdlib>
+#include <new>
+
+#include "support/alloc_counter.hpp"
+
+namespace {
+
+struct HookRegistrar {
+  HookRegistrar() { loom::support::AllocCounter::mark_hooks_linked(); }
+} g_hook_registrar;
+
+void* counted_alloc(std::size_t n) noexcept {
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p != nullptr) loom::support::AllocCounter::note_alloc(n);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t n, std::align_val_t al) noexcept {
+  const auto alignment = static_cast<std::size_t>(al);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (n + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded != 0 ? rounded : alignment);
+  if (p != nullptr) loom::support::AllocCounter::note_alloc(n);
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  loom::support::AllocCounter::note_free();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  return counted_alloc(n);
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  void* p = counted_aligned_alloc(n, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  void* p = counted_aligned_alloc(n, al);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t n, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(n, al);
+}
+void* operator new[](std::size_t n, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(n, al);
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
