@@ -5,7 +5,11 @@
 // is bit-identical to the serial baseline (the engine's core invariant —
 // see tests/campaign_parallel_test.cpp for the exhaustive version).
 //
-//   $ ./bench_scaling [max_threads] [seeds] [auto|drct|viapsl]
+//   $ ./bench_scaling [max_threads] [seeds] [auto|drct|viapsl] [stride]
+//
+// `stride` is the checkpoint spacing of the incremental (suffix-only)
+// mutant replay, so the threads sweep exercises the checkpointed path at
+// any granularity (the default engine setting is 32).
 //
 // The complexity sweeps that used to live here moved conceptually into
 // bench_fig6_table, which prints the same Drct-vs-ViaPSL cost story.
@@ -36,7 +40,7 @@ struct Sample {
 };
 
 Sample run_once(const char* source, std::size_t threads, std::size_t seeds,
-                mon::Backend backend) {
+                mon::Backend backend, std::size_t checkpoint_stride) {
   spec::Alphabet ab;
   support::DiagnosticSink sink;
   auto property = spec::parse_property(source, ab, sink);
@@ -52,6 +56,7 @@ Sample run_once(const char* source, std::size_t threads, std::size_t seeds,
   opt.threads = threads;
   opt.shard_size = 1;  // finest grain: every unit can be stolen
   opt.backend = backend;
+  opt.checkpoint_stride = checkpoint_stride;  // incremental replay is on
 
   const auto begin = std::chrono::steady_clock::now();
   const abv::CampaignResult r = abv::run_campaign(*property, ab, opt);
@@ -75,24 +80,27 @@ int main(int argc, char** argv) {
   if (!backend) {
     std::fprintf(stderr,
                  "bad backend '%s' (want auto, drct or viapsl)\n"
-                 "usage: %s [max_threads] [seeds] [auto|drct|viapsl]\n",
+                 "usage: %s [max_threads] [seeds] [auto|drct|viapsl] "
+                 "[stride]\n",
                  argv[3], argv[0]);
     return 2;
   }
+  const std::size_t stride = support::parse_count(argc, argv, 4, 32);
 
   std::printf(
       "Sharded campaign scaling (%zu hardware threads, %zu seeds, "
-      "backend %s)\n",
-      hw, seeds, loom::mon::to_string(*backend));
+      "backend %s, checkpoint stride %zu)\n",
+      hw, seeds, loom::mon::to_string(*backend), stride);
   bool all_identical = true;
   for (const char* source : kProperties) {
     std::printf("\nproperty: %s\n", source);
     std::printf("%8s %12s %14s %9s %s\n", "threads", "wall [ms]",
                 "mon events/s", "speedup", "deterministic");
 
-    const Sample serial = run_once(source, 1, seeds, *backend);
+    const Sample serial = run_once(source, 1, seeds, *backend, stride);
     for (std::size_t t = 1; t <= max_threads; t *= 2) {
-      const Sample s = t == 1 ? serial : run_once(source, t, seeds, *backend);
+      const Sample s =
+          t == 1 ? serial : run_once(source, t, seeds, *backend, stride);
       const bool identical = s.report == serial.report;
       all_identical = all_identical && identical;
       std::printf("%8zu %12.1f %14.3e %8.2fx %s\n", t, s.seconds * 1e3,

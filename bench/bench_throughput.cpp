@@ -199,6 +199,57 @@ void BM_CampaignMutationHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignMutationHeavy)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
 
+void BM_CampaignIncremental(benchmark::State& state) {
+  // Checkpointed, suffix-only mutant replay vs full replay on the
+  // mutation-heavy, long-trace shape (the BM_CampaignMutationHeavy
+  // workload where per-mutant cost is replay-dominated).  Gear 0 replays
+  // every mutant from event 0; gear 1 restores the floor checkpoint and
+  // replays only [floor, end).  Both produce bit-identical results
+  // (campaign_incremental_diff_test); the wall clock and the printed
+  // skip ratio — prefix events not re-stepped over the events the
+  // monitors would have stepped in full — are the win.  The timed
+  // property makes StallDeadline mutants (long preserved prefixes) part
+  // of the mix, where the suffix is shortest.
+  const bool incremental = state.range(0) != 0;
+  Fixture fx(kConfig[3], 48);
+  abv::CampaignOptions opt;
+  opt.seeds = 24;
+  opt.stimuli.rounds = 32;  // long traces: prefix re-evaluation dominates
+  opt.mutants_per_kind = 8;
+  opt.threads = 1;
+  opt.incremental_replay = incremental;
+  opt.checkpoint_stride = 32;
+  std::uint64_t monitor_events = 0;
+  std::uint64_t checkpoint_hits = 0;
+  std::uint64_t events_skipped = 0;
+  AllocTally tally;
+  for (auto _ : state) {
+    support::AllocCounter::Scope scope;
+    const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    tally.allocs += scope.allocs();
+    tally.units += opt.seeds * 6;
+    tally.mutants += opt.seeds * 5 * opt.mutants_per_kind;
+    monitor_events += r.monitor_stats.events;
+    checkpoint_hits += r.checkpoint_hits;
+    events_skipped += r.events_skipped;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  tally.report(state);
+  if (incremental) {
+    state.counters["checkpoint_hits"] = benchmark::Counter(
+        static_cast<double>(checkpoint_hits));
+    state.counters["events_skipped"] = benchmark::Counter(
+        static_cast<double>(events_skipped));
+    state.counters["skip_ratio"] = benchmark::Counter(
+        static_cast<double>(events_skipped) /
+        static_cast<double>(events_skipped + monitor_events));
+  }
+  state.SetLabel(incremental ? "incremental (suffix-only) replay"
+                             : "full replay");
+}
+BENCHMARK(BM_CampaignIncremental)->Arg(0)->Arg(1)->UseRealTime();
+
 void BM_CampaignCompiledPlans(benchmark::State& state) {
   // Translate-once vs translate-per-unit on the mutation-heavy shape: six
   // units per seed and a fresh monitor per killed mutant make the legacy

@@ -3,9 +3,12 @@
 // work-stealing pool — same bits out, less wall-clock in.
 //
 //   $ ./examples/parallel_campaign [threads] [seeds] [auto|drct|viapsl]
+//                                  [--incremental=on|off]
+//                                  [--checkpoint-stride=N]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -13,18 +16,74 @@
 #include "spec/parser.hpp"
 #include "support/args.hpp"
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: parallel_campaign [threads] [seeds] [auto|drct|viapsl]\n"
+    "                         [--incremental=on|off] [--checkpoint-stride=N]\n"
+    "\n"
+    "  threads              worker threads for the parallel run (default:\n"
+    "                       hardware concurrency)\n"
+    "  seeds                seeds per campaign (default 24)\n"
+    "  backend              monitor construction (default auto)\n"
+    "  --incremental=on|off checkpointed suffix-only mutant replay\n"
+    "                       (default on; result-neutral — the runs stay\n"
+    "                       bit-identical either way)\n"
+    "  --checkpoint-stride=N  events between checkpoint snapshots on each\n"
+    "                       valid trace (default 32, N >= 1)\n"
+    "  --help               print this text and exit\n"
+    "\n"
+    "exit status: 0 serial and parallel runs bit-identical, 1 mismatch,\n"
+    "2 usage error.\n";
+
+int usage_error(const char* fmt, const char* what) {
+  std::fprintf(stderr, fmt, what);
+  std::fprintf(stderr, "\n%s", kUsage);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace loom;
+  // Flags may appear anywhere; positionals keep their order.
+  bool incremental = true;
+  std::size_t checkpoint_stride = 32;
+  std::vector<char*> positional = {argv[0]};
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--help") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (std::strncmp(argv[k], "--incremental=", 14) == 0) {
+      const auto parsed = support::parse_on_off(argv[k] + 14);
+      if (!parsed) {
+        return usage_error("bad --incremental value (want on|off): %s\n",
+                           argv[k] + 14);
+      }
+      incremental = *parsed;
+    } else if (std::strncmp(argv[k], "--checkpoint-stride=", 20) == 0) {
+      const auto parsed = support::parse_positive(argv[k] + 20);
+      if (!parsed) {
+        return usage_error(
+            "bad --checkpoint-stride value (want a positive count): %s\n",
+            argv[k] + 20);
+      }
+      checkpoint_stride = *parsed;
+    } else if (std::strncmp(argv[k], "--", 2) == 0) {
+      return usage_error("unknown option: %s\n", argv[k]);
+    } else {
+      positional.push_back(argv[k]);
+    }
+  }
+  const int pos_argc = static_cast<int>(positional.size());
+  char** pos_argv = positional.data();
   const std::size_t threads = support::parse_count(
-      argc, argv, 1, std::max(1u, std::thread::hardware_concurrency()));
-  const std::size_t seeds = support::parse_count(argc, argv, 2, 24);
-  const auto backend = mon::parse_backend_arg(argc, argv, 3);
+      pos_argc, pos_argv, 1, std::max(1u, std::thread::hardware_concurrency()));
+  const std::size_t seeds = support::parse_count(pos_argc, pos_argv, 2, 24);
+  const auto backend = mon::parse_backend_arg(pos_argc, pos_argv, 3);
   if (!backend) {
-    std::fprintf(stderr,
-                 "bad backend '%s' (want auto, drct or viapsl)\n"
-                 "usage: %s [threads] [seeds] [auto|drct|viapsl]\n",
-                 argv[3], argv[0]);
-    return 2;
+    return usage_error("bad backend '%s' (want auto, drct or viapsl)\n",
+                       pos_argv[3]);
   }
 
   // The access-control flavoured property set of the evaluation.
@@ -57,6 +116,8 @@ int main(int argc, char** argv) {
   opt.mutants_per_kind = 16;
   opt.shard_size = 1;
   opt.backend = *backend;
+  opt.incremental_replay = incremental;
+  opt.checkpoint_stride = checkpoint_stride;
 
   // Show what the campaigns will execute: each property's translate-once
   // plan, rendered through the plan's own interned alphabet snapshot (no
@@ -99,14 +160,30 @@ int main(int argc, char** argv) {
 
   std::size_t stamped = 0;
   std::size_t reused = 0;
+  std::size_t checkpoint_hits = 0;
+  std::size_t events_skipped = 0;
+  std::size_t events_stepped = 0;
   for (const auto& r : parallel) {
     stamped += r.compile_stats.instances_stamped;
     reused += r.compile_stats.instance_reuses;
+    checkpoint_hits += r.checkpoint_hits;
+    events_skipped += r.events_skipped;
+    events_stepped += static_cast<std::size_t>(r.monitor_stats.events);
   }
   std::printf(
       "compiled plans: %zu properties translated once each; "
       "%zu instances stamped, %zu reset-reused\n",
       properties.size(), stamped, reused);
+  if (incremental) {
+    std::printf(
+        "incremental replay (stride %zu): %zu checkpoint restores skipped "
+        "%zu prefix events (%.0f%% of the %zu the monitors would have "
+        "stepped)\n",
+        checkpoint_stride, checkpoint_hits, events_skipped,
+        100.0 * static_cast<double>(events_skipped) /
+            static_cast<double>(events_skipped + events_stepped),
+        events_skipped + events_stepped);
+  }
   std::printf("serial:   %7.1f ms\n", serial_s * 1e3);
   std::printf("parallel: %7.1f ms  (%.2fx on %zu threads)\n",
               parallel_s * 1e3, serial_s / parallel_s, threads);

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "mon/monitors.hpp"
+#include "mon/snapshot.hpp"
 #include "psl/clause_monitor.hpp"
 #include "sim/scheduler.hpp"
 #include "support/thread_pool.hpp"
@@ -38,11 +39,32 @@ struct CampaignJob {
   std::size_t index = 0;  // position in run_campaigns' property list
 };
 
+// One per-seed cache entry: the valid trace plus — when incremental replay
+// is on — the checkpoint ladder recorded while a throwaway monitor observes
+// that trace exactly once.  checkpoints[k] is the monitor state after the
+// first (k+1)*stride events; a mutant whose divergence position p admits a
+// floor rung restores checkpoints[p/stride - 1] and replays only the
+// suffix.  The ladder is a pure function of (property, seed, options), so
+// it is deterministic no matter which unit's lookup builds it.
+struct CachedSeedTrace {
+  spec::Trace trace;
+  std::vector<mon::Snapshot> checkpoints;
+  std::size_t stride = 0;  // 0: no ladder (incremental off or stride 0)
+};
+
 // Per-seed valid-trace cache shared by every worker of one run_campaigns()
 // call: keyed by (job, seed) so batch runs over several properties never
 // alias, generated on first touch by whichever of the seed's six units gets
 // there first.
-using SeedTraceCache = support::TraceCache<spec::Trace>;
+using SeedTraceCache = support::TraceCache<CachedSeedTrace>;
+
+// A unit's view of its seed's valid trace: the events, plus the checkpoint
+// ladder when the entry came from the cache (null on the regenerate-per-
+// unit baseline path, which has nowhere to keep a ladder).
+struct SeedTraceRef {
+  const spec::Trace* trace = nullptr;
+  const CachedSeedTrace* cached = nullptr;
+};
 
 // Accumulator local to one shard; merged into the campaign result in shard
 // index order after the pool drains.
@@ -123,11 +145,15 @@ namespace {
 // Draws a pooled monitor instance for one work unit of the scratch path:
 // the first draw of a shard stamps from the shared plan, every later draw
 // resets the existing instance (reset ≡ fresh, mon_reset_reuse_test) —
-// valid units and mutation units alike.
+// valid units and mutation units alike.  `skip_reset` elides the physical
+// reset when the caller is about to restore() a checkpoint over the whole
+// state anyway (restore overwrites every field a reset touches, and the
+// snapshot fuzz covers restoring into a dirty instance); the reuse
+// accounting still counts the logical draw either way.
 mon::Monitor& draw_pooled(std::unique_ptr<mon::Monitor>& slot,
                           const CampaignJob& job, const CampaignOptions& options,
                           const spec::Alphabet& ab, mon::Backend backend,
-                          ShardOutcome& out) {
+                          ShardOutcome& out, bool skip_reset = false) {
   if (slot == nullptr) {
     if (backend == mon::Backend::ViaPSL) {
       slot = job.plan->compiled.instantiate(mon::Backend::ViaPSL);
@@ -136,7 +162,7 @@ mon::Monitor& draw_pooled(std::unique_ptr<mon::Monitor>& slot,
       slot = stamp_monitor(job, options, ab, out);
     }
   } else {
-    slot->reset();
+    if (!skip_reset) slot->reset();
     ++out.partial.compile_stats.instance_reuses;
   }
   return *slot;
@@ -158,30 +184,71 @@ spec::Trace seed_trace(const CampaignJob& job, spec::Alphabet& ab,
   return generate_valid(*job.property, ab, rng, options.stimuli);
 }
 
+// The ladder only exists where it can live (the per-seed cache entry) and
+// where it has rungs to stand on (a positive stride).
+bool incremental_enabled(const CampaignOptions& options) {
+  return options.incremental_replay && options.reuse_traces &&
+         options.checkpoint_stride > 0;
+}
+
+// Records the checkpoint ladder for one cached seed trace: a throwaway
+// monitor stamped from the shared plan observes the valid trace once,
+// snapshotting after every `stride` events.  The pass is engine overhead of
+// the cache-entry build (like generation itself): its instance and
+// Figure-6 stats are deliberately not accounted anywhere, so the ladder
+// knob cannot move a semantic counter.
+void build_checkpoint_ladder(const CampaignJob& job,
+                             const CampaignOptions& options,
+                             CachedSeedTrace& entry) {
+  entry.stride = options.checkpoint_stride;
+  const std::size_t rungs = entry.trace.size() / entry.stride;
+  if (rungs == 0) return;
+  entry.checkpoints.resize(rungs);
+  const std::unique_ptr<mon::Monitor> monitor =
+      job.plan->compiled.instantiate();
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < entry.trace.size(); ++i) {
+    monitor->observe(entry.trace[i].name, entry.trace[i].time);
+    if ((i + 1) % entry.stride == 0) {
+      monitor->snapshot(entry.checkpoints[next]);
+      if (++next == rungs) break;  // ladder full; the tail has no rung
+    }
+  }
+}
+
 // Hands out the seed's valid trace: from the shared cache when trace reuse
-// is on (whichever unit asks first generates and inserts, the rest hit),
-// regenerated into `local` otherwise.  Cached or not, the bytes are the
-// same — the trace is a pure function of (first_seed + s).
-const spec::Trace& obtain_seed_trace(const CampaignJob& job,
-                                     spec::Alphabet& ab,
-                                     const CampaignOptions& options,
-                                     std::size_t s, SeedTraceCache* cache,
-                                     ShardOutcome& out, spec::Trace& local) {
+// is on (whichever unit asks first generates — and, with incremental
+// replay, records the checkpoint ladder — then inserts; the rest hit),
+// regenerated into `local` otherwise.  Cached or not, the trace bytes are
+// the same — a pure function of (first_seed + s).
+SeedTraceRef obtain_seed_trace(const CampaignJob& job, spec::Alphabet& ab,
+                               const CampaignOptions& options, std::size_t s,
+                               SeedTraceCache* cache, ShardOutcome& out,
+                               spec::Trace& local) {
   if (cache == nullptr) {
     local = seed_trace(job, ab, options, s);
-    return local;
+    return {&local, nullptr};
   }
   bool inserted = false;
   const std::uint64_t key =
       static_cast<std::uint64_t>(job.index) * options.seeds + s;
-  const spec::Trace& valid = cache->get_or_emplace(
-      key, [&] { return seed_trace(job, ab, options, s); }, &inserted);
+  const CachedSeedTrace& entry = cache->get_or_emplace(
+      key,
+      [&] {
+        CachedSeedTrace fresh;
+        fresh.trace = seed_trace(job, ab, options, s);
+        if (incremental_enabled(options)) {
+          build_checkpoint_ladder(job, options, fresh);
+        }
+        return fresh;
+      },
+      &inserted);
   if (inserted) {
     ++out.partial.trace_cache_misses;
   } else {
     ++out.partial.trace_cache_hits;
   }
-  return valid;
+  return {&entry.trace, &entry};
 }
 
 // The reference oracle for one unit: the scratch path hands the compiled
@@ -203,8 +270,9 @@ void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
                     SeedTraceCache* cache, UnitScratch& scratch,
                     ShardOutcome& out) {
   const spec::Property& property = *job.property;
-  const spec::Trace& valid = obtain_seed_trace(job, ab, options, s, cache,
-                                               out, scratch.local_trace);
+  const spec::Trace& valid = *obtain_seed_trace(job, ab, options, s, cache,
+                                                out, scratch.local_trace)
+                                  .trace;
   ++out.partial.traces;
   out.partial.events += valid.size();
 
@@ -277,8 +345,16 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
                        UnitScratch& scratch, ShardOutcome& out) {
   LOOM_DASSERT(slot >= 1 && slot < kSlotsPerSeed);
   const spec::Property& property = *job.property;
-  const spec::Trace& valid = obtain_seed_trace(job, ab, options, s, cache,
-                                               out, scratch.local_trace);
+  const SeedTraceRef seed_ref = obtain_seed_trace(job, ab, options, s, cache,
+                                                  out, scratch.local_trace);
+  const spec::Trace& valid = *seed_ref.trace;
+  // Checkpoint ladder for suffix-only replay (null without the cache or
+  // with the knob off — those configurations replay every mutant in full).
+  const CachedSeedTrace* ladder =
+      options.incremental_replay && seed_ref.cached != nullptr &&
+              seed_ref.cached->stride != 0
+          ? seed_ref.cached
+          : nullptr;
   const std::size_t k = slot - 1;
   auto& stats = out.partial.mutation[k];
   support::Rng rng = support::Rng::stream(options.first_seed + s, slot);
@@ -309,17 +385,44 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
         oracle_check(job, options, mutant->trace, end_of(mutant->trace));
     if (!mref.rejected()) continue;
     ++stats.invalid;
+    // Incremental replay: MutationResult::position guarantees the mutant
+    // shares its first `position` events with the valid trace, so the
+    // monitor state after that prefix is exactly what the ladder recorded.
+    // Resolve the floor rung (the highest checkpoint at or below the
+    // position) before drawing the monitor: when a restore will overwrite
+    // the whole state, the draw below skips its redundant reset pass.
+    std::size_t replay_begin = 0;
+    const mon::Snapshot* rung = nullptr;
+    if (ladder != nullptr && !ladder->checkpoints.empty()) {
+      const std::size_t whole_strides = mutant->position / ladder->stride;
+      const std::size_t rungs =
+          std::min(whole_strides, ladder->checkpoints.size());
+      if (rungs > 0) {
+        rung = &ladder->checkpoints[rungs - 1];
+        replay_begin = rungs * ladder->stride;
+      }
+    }
     mon::Monitor* mmon = nullptr;
     if (pooled) {
       mmon = &draw_pooled(scratch.monitor, job, options, ab,
-                          mon::Backend::Auto, out);
+                          mon::Backend::Auto, out,
+                          /*skip_reset=*/rung != nullptr);
     } else if (fresh == nullptr || !options.use_compiled_plans) {
       fresh = stamp_monitor(job, options, ab, out);
       mmon = fresh.get();
     } else {
-      fresh->reset();
+      if (rung == nullptr) fresh->reset();
       ++out.partial.compile_stats.instance_reuses;
       mmon = fresh.get();
+    }
+    // The restored state already carries the prefix's stats, verdict and
+    // timing registers, so replaying only [floor, end) produces bytes that
+    // match a full replay exactly (campaign_incremental_diff_test).
+    if (rung != nullptr) {
+      mmon->restore(*rung);
+      LOOM_DASSERT(replay_begin <= mutant->trace.size());
+      ++out.partial.checkpoint_hits;
+      out.partial.events_skipped += replay_begin;
     }
     if (options.batch_replay) {
       if (options.reuse_scratch && pooled) {
@@ -336,18 +439,20 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
           scratch.replay_module->reset();
         }
         scratch.replay_module->observe_batch(
-            mutant->trace, mon::MonitorModule::BatchPolicy::ReplayAll);
+            mutant->trace, mon::MonitorModule::BatchPolicy::ReplayAll,
+            replay_begin);
       } else {
         // Fresh baseline: in-simulation replay host scoped per mutant —
         // whatever the module armed dies with it right here.
         sim::Scheduler replay_sched;
         mon::MonitorModule module(replay_sched, "replay", *mmon, ab);
         module.observe_batch(mutant->trace,
-                             mon::MonitorModule::BatchPolicy::ReplayAll);
+                             mon::MonitorModule::BatchPolicy::ReplayAll,
+                             replay_begin);
       }
     } else {
-      for (const auto& ev : mutant->trace) {
-        mmon->observe(ev.name, ev.time);
+      for (std::size_t e = replay_begin; e < mutant->trace.size(); ++e) {
+        mmon->observe(mutant->trace[e].name, mutant->trace[e].time);
       }
     }
     mmon->finish(end_of(mutant->trace));
@@ -510,6 +615,8 @@ std::vector<CampaignResult> run_campaigns(
     result.compile_stats.merge(out.partial.compile_stats);
     result.trace_cache_hits += out.partial.trace_cache_hits;
     result.trace_cache_misses += out.partial.trace_cache_misses;
+    result.checkpoint_hits += out.partial.checkpoint_hits;
+    result.events_skipped += out.partial.events_skipped;
     if (out.alphabet) alphabet_covs[p].merge(*out.alphabet);
     if (out.recognizer) {
       if (rec_covs[p]) {
@@ -533,7 +640,8 @@ CampaignResult run_campaign(const spec::Property& property,
   return run_campaigns({&property}, ab, options)[0];
 }
 
-std::string CampaignResult::report(const spec::Alphabet&) const {
+std::string CampaignResult::report(const spec::Alphabet&,
+                                   bool with_engine_diagnostics) const {
   char buf[256];
   std::string out;
   std::snprintf(buf, sizeof buf,
@@ -564,6 +672,20 @@ std::string CampaignResult::report(const spec::Alphabet&) const {
                   "detected, %zu missed\n",
                   to_string(kAllKinds[k]), m.applied, m.invalid, m.detected,
                   m.missed);
+    out += buf;
+  }
+  if (with_engine_diagnostics) {
+    // Engine accounting, not semantic result: the default report must stay
+    // byte-identical across every performance knob (the differential
+    // tests' yardstick), so these lines are opt-in.
+    std::snprintf(buf, sizeof buf,
+                  "engine: %zu trace-cache hits, %zu misses\n",
+                  trace_cache_hits, trace_cache_misses);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "replay: %zu checkpoint restores, %zu prefix events "
+                  "skipped\n",
+                  checkpoint_hits, events_skipped);
     out += buf;
   }
   out += ok() ? "campaign PASSED\n" : "campaign FAILED\n";

@@ -23,9 +23,10 @@
 //!   cached replay ≡ live     (campaign_replay_diff_test)
 //!   compiled ≡ per-unit      (compiled_plan_diff_test)
 //!   scratch/pooled ≡ fresh   (campaign_scratch_diff_test)
-//! A run with threads=N, any shard size, any cache/batch/plan/scratch knob
-//! setting is bit-identical to the serial legacy run — same counts, same
-//! coverage ratios, same report text.
+//!   incremental ≡ full replay (campaign_incremental_diff_test)
+//! A run with threads=N, any shard size, any cache/batch/plan/scratch/
+//! checkpoint knob setting is bit-identical to the serial legacy run —
+//! same counts, same coverage ratios, same report text.
 #pragma once
 
 #include <string>
@@ -92,6 +93,24 @@ struct CampaignOptions {
   /// mutant like the pre-scratch engine; the fourth differential invariant
   /// (campaign_scratch_diff_test) holds the two paths byte-for-byte equal.
   bool reuse_scratch = true;
+
+  /// Replay each mutant from the nearest checkpoint at or before its
+  /// mutation site instead of from event 0.  While the per-seed cache
+  /// entry is built, the engine records monitor-state snapshots
+  /// (mon::Snapshot) every `checkpoint_stride` events of the valid trace;
+  /// a mutant whose MutationResult::position proves a shared prefix then
+  /// restores the floor checkpoint and batch-replays only [floor, end) —
+  /// O(suffix) instead of O(trace) per mutant.  Requires reuse_traces (the
+  /// ladder lives next to the cached trace); with the cache off the engine
+  /// silently falls back to full replay.  Result-neutral: the fifth
+  /// differential invariant (campaign_incremental_diff_test) holds
+  /// incremental byte-for-byte equal to full replay at any thread count,
+  /// backend, stride and knob combination.
+  bool incremental_replay = true;
+  /// Events between checkpoint snapshots on the valid trace (the ladder's
+  /// rung spacing): smaller strides skip more prefix per mutant but store
+  /// more snapshots per seed.  0 disables the ladder (full replay).
+  std::size_t checkpoint_stride = 32;
 
   /// Optional cross-campaign plan cache (borrowed; must outlive the call):
   /// when set, compile_property_plans() memoizes each property's
@@ -194,6 +213,15 @@ struct CampaignResult {
   std::size_t trace_cache_hits = 0;
   std::size_t trace_cache_misses = 0;
 
+  /// Incremental-replay accounting (both 0 with incremental_replay off or
+  /// no usable ladder): mutants restored from a checkpoint, and the
+  /// shared-prefix events those restores skipped re-stepping.  Like the
+  /// trace-cache split these are deterministic engine diagnostics —
+  /// excluded from the default report() so incremental runs stay
+  /// byte-identical to full-replay runs; report(ab, true) appends them.
+  std::size_t checkpoint_hits = 0;
+  std::size_t events_skipped = 0;
+
   /// A healthy campaign: monitors agree with the oracle everywhere, all
   /// valid traces pass, and no invalid mutant escapes detection.
   bool ok() const {
@@ -205,7 +233,12 @@ struct CampaignResult {
     return true;
   }
 
-  std::string report(const spec::Alphabet& ab) const;
+  /// Human-readable summary.  The default report contains only the
+  /// semantic result (every performance knob leaves it byte-identical —
+  /// that is the differential tests' yardstick); `with_engine_diagnostics`
+  /// appends the trace-cache and checkpoint-replay accounting lines.
+  std::string report(const spec::Alphabet& ab,
+                     bool with_engine_diagnostics = false) const;
 };
 
 CampaignResult run_campaign(const spec::Property& property,

@@ -1,5 +1,7 @@
 #include "abv/checker.hpp"
 
+#include "mon/snapshot.hpp"
+
 namespace loom::abv {
 
 std::size_t Checker::add(std::string name,
@@ -16,8 +18,20 @@ void Checker::finish(sim::Time end_time) {
   for (auto& e : entries_) e.monitor->finish(end_time);
 }
 
-void Checker::run(const spec::Trace& trace, sim::Time end_time) {
-  for (const auto& ev : trace) observe(ev.name, ev.time);
+void Checker::run(const spec::Trace& trace, sim::Time end_time,
+                  std::size_t snapshot_stride) {
+  mon::Snapshot scratch;  // one reusable buffer for every round-trip
+  std::size_t since_snapshot = 0;
+  for (const auto& ev : trace) {
+    observe(ev.name, ev.time);
+    if (snapshot_stride != 0 && ++since_snapshot == snapshot_stride) {
+      since_snapshot = 0;
+      for (auto& e : entries_) {
+        e.monitor->snapshot(scratch);
+        e.monitor->restore(scratch);
+      }
+    }
+  }
   finish(end_time);
 }
 

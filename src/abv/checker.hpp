@@ -39,8 +39,14 @@ class Checker {
   /// Broadcasts end-of-observation.
   void finish(sim::Time end_time);
 
-  /// Replays a full recorded trace.
-  void run(const spec::Trace& trace, sim::Time end_time);
+  /// Replays a full recorded trace.  A non-zero `snapshot_stride` takes a
+  /// mon::Snapshot of every monitor after each `snapshot_stride` events and
+  /// immediately restores it — a live exercise of the checkpoint machinery
+  /// the campaign engine's incremental replay builds on.  By the snapshot
+  /// contract (restore ≡ state at snapshot time, mon_snapshot_test) the
+  /// verdicts, violations and stats are identical to a plain replay.
+  void run(const spec::Trace& trace, sim::Time end_time,
+           std::size_t snapshot_stride = 0);
 
   /// True when no monitor reported a violation.
   bool all_passing() const;

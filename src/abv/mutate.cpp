@@ -71,7 +71,10 @@ bool mutate_into(const spec::Trace& trace, MutationKind kind,
       copy.time = copy.time + sim::Time::ps(1);
       copy_with_headroom(trace, t);
       t.insert(t.begin() + static_cast<long>(pos) + 1, copy);
-      out.position = pos;
+      // The copy lands at pos + 1, so the shared prefix extends through the
+      // duplicated original — position names the insertion index, keeping
+      // the "first possible divergence" contract uniform across kinds.
+      out.position = pos + 1;
       return true;
     }
     case MutationKind::SwapAdjacent: {

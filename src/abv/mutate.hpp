@@ -45,6 +45,26 @@ const char* to_string(MutationKind k);
 struct MutationResult {
   spec::Trace trace;
   MutationKind kind = MutationKind::Drop;
+  /// Index of the first event at which the mutant may diverge from the
+  /// source trace — NOT "the index of the mutated event".  The load-bearing
+  /// contract (the checkpointed campaign engine replays mutants from a
+  /// snapshot at or before this index, and abv_mutate_position_test locks
+  /// it):
+  ///
+  ///     trace[0, position) == mutant[0, position), element for element.
+  ///
+  /// Per kind:
+  ///   Drop          index of the removed event (the mutant holds the old
+  ///                 successor there);
+  ///   Duplicate     index of the inserted copy (original index + 1);
+  ///   SwapAdjacent  index of the first of the two swapped events;
+  ///   EarlyTrigger  index of the inserted trigger event;
+  ///   StallDeadline index of the first time-shifted event.
+  ///
+  /// position <= source trace size and position <= mutant size always
+  /// hold; the exact first differing element can lie later only when the
+  /// source trace happens to repeat the displaced event bit-for-bit (the
+  /// guarantee above is what downstream consumers may rely on).
   std::size_t position = 0;
 };
 

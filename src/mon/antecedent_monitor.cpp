@@ -1,6 +1,16 @@
 #include "mon/antecedent_monitor.hpp"
 
+#include <stdexcept>
+
+#include "mon/snapshot.hpp"
+#include "support/diagnostics.hpp"
+
 namespace loom::mon {
+namespace {
+// Format tag: a snapshot written by one monitor kind must never restore
+// into another (the state layouts differ silently otherwise).
+constexpr std::uint64_t kSnapshotTag = 0x414E5443;  // "ANTC"
+}  // namespace
 
 AntecedentMonitor::AntecedentMonitor(spec::Antecedent property)
     : AntecedentMonitor(std::move(property), nullptr) {}
@@ -69,6 +79,32 @@ void AntecedentMonitor::reset() {
   violation_.reset();
   validated_ = 0;
   ordinal_ = 0;
+}
+
+void AntecedentMonitor::snapshot(Snapshot& out) const {
+  out.clear();
+  out.put_u64(kSnapshotTag);
+  stats_.snapshot(out);
+  recognizer_.snapshot(out);
+  out.put_u64(static_cast<std::uint64_t>(verdict_));
+  snapshot_violation(out, violation_);
+  out.put_u64(validated_);
+  out.put_u64(ordinal_);
+}
+
+void AntecedentMonitor::restore(const Snapshot& in) {
+  SnapshotReader r(in);
+  if (r.u64() != kSnapshotTag) {
+    throw std::logic_error(
+        "AntecedentMonitor::restore: snapshot of a different monitor kind");
+  }
+  stats_.restore(r);
+  recognizer_.restore(r);
+  verdict_ = static_cast<Verdict>(r.u64());
+  restore_violation(r, violation_);
+  validated_ = r.u64();
+  ordinal_ = static_cast<std::size_t>(r.u64());
+  LOOM_DASSERT(r.exhausted());  // format drift: snapshot wrote more fields
 }
 
 }  // namespace loom::mon

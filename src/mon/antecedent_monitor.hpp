@@ -23,8 +23,12 @@ class AntecedentMonitor final : public Monitor {
                     std::shared_ptr<const spec::OrderingPlan> plan);
 
   void observe(spec::Name name, sim::Time time) override;
-  void observe_batch(const spec::Trace& slice) override {
-    for (const auto& ev : slice) observe(ev.name, ev.time);  // devirtualized
+  using Monitor::observe_batch;
+  void observe_batch(const spec::TimedEvent* begin,
+                     const spec::TimedEvent* end) override {
+    for (const auto* ev = begin; ev != end; ++ev) {
+      observe(ev->name, ev->time);  // devirtualized
+    }
   }
   void finish(sim::Time end_time) override;
 
@@ -35,6 +39,8 @@ class AntecedentMonitor final : public Monitor {
   MonitorStats& stats() override { return stats_; }
   std::size_t space_bits() const override;
   void reset() override;
+  void snapshot(Snapshot& out) const override;
+  void restore(const Snapshot& in) override;
 
   /// Number of trigger occurrences that were validated.
   std::uint64_t validated_triggers() const { return validated_; }

@@ -1,6 +1,24 @@
 #include "mon/fragment_recognizer.hpp"
 
+#include "mon/snapshot.hpp"
+
 namespace loom::mon {
+
+void FragmentRecognizer::snapshot(Snapshot& out) const {
+  out.put_bool(min_complete_);
+  out.put_bool(in_progress_);
+  out.put_time(min_complete_time_);
+  out.put_string(error_reason_);
+  for (const auto& c : children_) c.snapshot(out);
+}
+
+void FragmentRecognizer::restore(SnapshotReader& in) {
+  min_complete_ = in.boolean();
+  in_progress_ = in.boolean();
+  min_complete_time_ = in.time();
+  in.string_into(error_reason_);
+  for (auto& c : children_) c.restore(in);
+}
 
 FragmentRecognizer::FragmentRecognizer(const spec::FragmentPlan& plan,
                                        MonitorStats& stats)

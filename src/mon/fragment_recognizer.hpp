@@ -24,6 +24,11 @@ class FragmentRecognizer {
   void start();
   void reset();
 
+  /// Checkpoint support: own flags/timestamp plus every child, in index
+  /// order (mon/snapshot.hpp).
+  void snapshot(Snapshot& out) const;
+  void restore(SnapshotReader& in);
+
   enum class Out : std::uint8_t { None, Ok, Err };
 
   Out step(spec::Name name, sim::Time time);

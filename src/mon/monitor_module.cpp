@@ -19,12 +19,14 @@ void MonitorModule::observe(spec::Name name, sim::Time time) {
 }
 
 void MonitorModule::observe_batch(const spec::Trace& slice,
-                                  BatchPolicy policy) {
+                                  BatchPolicy policy, std::size_t begin) {
+  if (begin > slice.size()) begin = slice.size();
   if (policy == BatchPolicy::ReplayAll) {
-    monitor_.observe_batch(slice);
+    monitor_.observe_batch(slice.data() + begin,
+                           slice.data() + slice.size());
   } else {
-    for (const auto& ev : slice) {
-      monitor_.observe(ev.name, ev.time);
+    for (std::size_t i = begin; i < slice.size(); ++i) {
+      monitor_.observe(slice[i].name, slice[i].time);
       // Stop stepping once violated: the remaining slice cannot un-violate
       // the monitor and the violation report should point at its cause.
       if (monitor_.verdict() == Verdict::Violated) break;

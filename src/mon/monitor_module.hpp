@@ -65,9 +65,13 @@ class MonitorModule final : public sim::Module {
   /// bookkeeping once at the end of the slice instead of per event.
   /// Events carry their own timestamps, so deadline overruns are still
   /// detected mid-slice; the callback firing coalesces to the end of the
-  /// batch.
+  /// batch.  `begin` skips the slice's first events — the checkpointed
+  /// campaign engine restores the monitor to the state after
+  /// trace[0, begin) and replays only the suffix (same bytes out as a full
+  /// replay, by the Monitor::snapshot contract).
   void observe_batch(const spec::Trace& slice,
-                     BatchPolicy policy = BatchPolicy::StopAtViolation);
+                     BatchPolicy policy = BatchPolicy::StopAtViolation,
+                     std::size_t begin = 0);
 
   /// Ends observation (typically at the end of simulation).
   void finish();

@@ -1,6 +1,20 @@
 #include "mon/ordering_recognizer.hpp"
 
+#include "mon/snapshot.hpp"
+
 namespace loom::mon {
+
+void OrderingRecognizer::snapshot(Snapshot& out) const {
+  out.put_u64(active_);
+  out.put_string(error_reason_);
+  for (const auto& f : fragments_) f.snapshot(out);
+}
+
+void OrderingRecognizer::restore(SnapshotReader& in) {
+  active_ = static_cast<std::size_t>(in.u64());
+  in.string_into(error_reason_);
+  for (auto& f : fragments_) f.restore(in);
+}
 
 OrderingRecognizer::OrderingRecognizer(const spec::OrderingPlan& plan,
                                        MonitorStats& stats)

@@ -24,6 +24,11 @@ class OrderingRecognizer {
   /// Full reset + activate (used at the reset points of the patterns).
   void restart();
 
+  /// Checkpoint support: active-fragment index, error reason and every
+  /// fragment, in index order (mon/snapshot.hpp).
+  void snapshot(Snapshot& out) const;
+  void restore(SnapshotReader& in);
+
   enum class Out : std::uint8_t { None, Completed, Err };
 
   Out step(spec::Name name, sim::Time time);

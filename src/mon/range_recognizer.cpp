@@ -1,6 +1,20 @@
 #include "mon/range_recognizer.hpp"
 
+#include "mon/snapshot.hpp"
+
 namespace loom::mon {
+
+void RangeRecognizer::snapshot(Snapshot& out) const {
+  out.put_u64(static_cast<std::uint64_t>(state_));
+  out.put_u64(cpt_);
+  out.put_string(error_reason_);
+}
+
+void RangeRecognizer::restore(SnapshotReader& in) {
+  state_ = static_cast<State>(in.u64());
+  cpt_ = static_cast<std::uint32_t>(in.u64());
+  in.string_into(error_reason_);
+}
 
 const char* to_string(RangeRecognizer::State s) {
   switch (s) {

@@ -47,6 +47,10 @@ class RangeRecognizer {
 
   void reset();
 
+  /// Checkpoint support: state, counter and error reason (mon/snapshot.hpp).
+  void snapshot(Snapshot& out) const;
+  void restore(SnapshotReader& in);
+
   State state() const { return state_; }
   std::uint32_t count() const { return cpt_; }
   const spec::RangePlan& plan() const { return *plan_; }

@@ -1,0 +1,93 @@
+//! Cloneable monitor state: the flat, reusable buffer behind the
+//! checkpointed-replay engine.
+//!
+//! A Snapshot captures the complete mutable state of one monitor instance —
+//! recognizer automata, Figure-6 stats, verdict, violation, timing
+//! registers — as a flat sequence of 64-bit words plus a small string pool.
+//! Writers append in a fixed order (Monitor::snapshot); SnapshotReader
+//! replays the same order (Monitor::restore).  The contract every
+//! implementation keeps, locked by tests/mon_snapshot_test.cpp:
+//!
+//!   restore(s) after snapshot(s) ≡ the state at snapshot time, bit for
+//!   bit — continuing observation afterwards is indistinguishable from an
+//!   uninterrupted run (verdict, violation, stats and space accounting).
+//!
+//! Ownership: the caller owns the Snapshot; one buffer may be reused across
+//! any number of snapshot() calls (clear() keeps the word vector's and the
+//! string slots' capacity, so a warmed buffer re-snapshots without heap
+//! traffic).  A Snapshot written by one monitor may only be restored into a
+//! monitor of the same kind stamped from the same plan — each monitor tags
+//! its format and restore() rejects a foreign tag.
+//! Thread-safety: a Snapshot is a plain value; concurrent readers are fine
+//! once writing stops (the campaign's checkpoint ladders are published
+//! read-only through support::TraceCache).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace loom::mon {
+
+class SnapshotReader;
+
+class Snapshot {
+ public:
+  /// Forgets the content, keeps every capacity (words and string slots):
+  /// the reuse entry point for pooled snapshot buffers.
+  void clear() {
+    words_.clear();
+    strings_used_ = 0;
+  }
+
+  bool empty() const { return words_.empty() && strings_used_ == 0; }
+  std::size_t word_count() const { return words_.size(); }
+
+  void put_u64(std::uint64_t v) { words_.push_back(v); }
+  void put_bool(bool b) { words_.push_back(b ? 1 : 0); }
+  void put_time(sim::Time t) { words_.push_back(t.picoseconds()); }
+  /// Strings land in a slot pool: a cleared buffer re-assigns into its old
+  /// slots, reusing their capacity (error reasons are empty on the hot
+  /// path, so this never grows in steady state).
+  void put_string(const std::string& s);
+  /// Bit vector as a length word plus 64-bit packed payload (the ViaPSL
+  /// armed/range-seen sets can be wide; one word per bit would not do).
+  void put_bits(const std::vector<bool>& bits);
+
+ private:
+  friend class SnapshotReader;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::string> strings_;
+  std::size_t strings_used_ = 0;
+};
+
+/// Sequential reader over a Snapshot; reads must mirror the write order.
+/// Reads past the end throw std::logic_error (always, Release included):
+/// restoring a truncated, empty or foreign snapshot rejects instead of
+/// reading out of bounds.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(const Snapshot& snap) : snap_(&snap) {}
+
+  std::uint64_t u64();
+  bool boolean() { return u64() != 0; }
+  sim::Time time() { return sim::Time::ps(u64()); }
+  /// Assigns into `out` (capacity-reusing; never a fresh string).
+  void string_into(std::string& out);
+  /// Restores a put_bits() payload; resizes `out` only on a width change.
+  void bits_into(std::vector<bool>& out);
+
+  /// True when every word and string has been consumed — restore()
+  /// implementations end on an exhausted reader or the formats drifted.
+  bool exhausted() const;
+
+ private:
+  const Snapshot* snap_;
+  std::size_t word_ = 0;
+  std::size_t str_ = 0;
+};
+
+}  // namespace loom::mon

@@ -1,6 +1,20 @@
 #include "mon/stats.hpp"
 
+#include "mon/snapshot.hpp"
+
 namespace loom::mon {
+
+void MonitorStats::snapshot(Snapshot& out) const {
+  out.put_u64(ops);
+  out.put_u64(events);
+  out.put_u64(max_ops_per_event);
+}
+
+void MonitorStats::restore(SnapshotReader& in) {
+  ops = in.u64();
+  events = in.u64();
+  max_ops_per_event = in.u64();
+}
 
 void MonitorStats::merge(const MonitorStats& other) {
   ops += other.ops;

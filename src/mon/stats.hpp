@@ -20,6 +20,9 @@
 
 namespace loom::mon {
 
+class Snapshot;        // mon/snapshot.hpp
+class SnapshotReader;  // mon/snapshot.hpp
+
 /// Bits needed to store values in [0, max_value]:  ceil(log2(max_value+1)).
 std::size_t bits_for_value(std::uint64_t max_value);
 
@@ -45,6 +48,12 @@ struct MonitorStats {
   }
 
   void reset() { *this = MonitorStats{}; }
+
+  /// Checkpoint support: the three counters are part of every monitor's
+  /// snapshot, so a restored monitor accounts exactly like one that
+  /// observed the whole prefix itself (mon/snapshot.hpp).
+  void snapshot(Snapshot& out) const;
+  void restore(SnapshotReader& in);
 
   /// Order-independent aggregation across monitors / campaign shards: ops
   /// and events add, the per-event worst case is the max of the two.

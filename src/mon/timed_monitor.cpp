@@ -1,6 +1,15 @@
 #include "mon/timed_monitor.hpp"
 
+#include <stdexcept>
+
+#include "mon/snapshot.hpp"
+#include "support/diagnostics.hpp"
+
 namespace loom::mon {
+namespace {
+// Format tag (see antecedent_monitor.cpp): kind-checks restore().
+constexpr std::uint64_t kSnapshotTag = 0x54494D44;  // "TIMD"
+}  // namespace
 
 TimedImplicationMonitor::TimedImplicationMonitor(spec::TimedImplication property)
     : TimedImplicationMonitor(std::move(property), nullptr) {}
@@ -135,6 +144,41 @@ void TimedImplicationMonitor::reset() {
   q_done_ = false;
   rounds_ = 0;
   ordinal_ = 0;
+}
+
+void TimedImplicationMonitor::snapshot(Snapshot& out) const {
+  out.clear();
+  out.put_u64(kSnapshotTag);
+  stats_.snapshot(out);
+  recognizer_.snapshot(out);
+  out.put_u64(static_cast<std::uint64_t>(verdict_));
+  snapshot_violation(out, violation_);
+  out.put_bool(armed_);
+  out.put_bool(q_done_);
+  out.put_time(t_start_);
+  out.put_time(t_stop_);
+  out.put_u64(rounds_);
+  out.put_u64(ordinal_);
+}
+
+void TimedImplicationMonitor::restore(const Snapshot& in) {
+  SnapshotReader r(in);
+  if (r.u64() != kSnapshotTag) {
+    throw std::logic_error(
+        "TimedImplicationMonitor::restore: snapshot of a different monitor "
+        "kind");
+  }
+  stats_.restore(r);
+  recognizer_.restore(r);
+  verdict_ = static_cast<Verdict>(r.u64());
+  restore_violation(r, violation_);
+  armed_ = r.boolean();
+  q_done_ = r.boolean();
+  t_start_ = r.time();
+  t_stop_ = r.time();
+  rounds_ = r.u64();
+  ordinal_ = static_cast<std::size_t>(r.u64());
+  LOOM_DASSERT(r.exhausted());  // format drift: snapshot wrote more fields
 }
 
 }  // namespace loom::mon

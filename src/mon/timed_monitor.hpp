@@ -30,8 +30,12 @@ class TimedImplicationMonitor final : public Monitor {
                           std::shared_ptr<const spec::OrderingPlan> plan);
 
   void observe(spec::Name name, sim::Time time) override;
-  void observe_batch(const spec::Trace& slice) override {
-    for (const auto& ev : slice) observe(ev.name, ev.time);  // devirtualized
+  using Monitor::observe_batch;
+  void observe_batch(const spec::TimedEvent* begin,
+                     const spec::TimedEvent* end) override {
+    for (const auto* ev = begin; ev != end; ++ev) {
+      observe(ev->name, ev->time);  // devirtualized
+    }
   }
   void finish(sim::Time end_time) override;
   void poll(sim::Time now) override;
@@ -46,6 +50,8 @@ class TimedImplicationMonitor final : public Monitor {
   MonitorStats& stats() override { return stats_; }
   std::size_t space_bits() const override;
   void reset() override;
+  void snapshot(Snapshot& out) const override;
+  void restore(const Snapshot& in) override;
 
   /// Completed P=>Q rounds.
   std::uint64_t completed_rounds() const { return rounds_; }

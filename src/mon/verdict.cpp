@@ -1,11 +1,36 @@
 #include "mon/verdict.hpp"
 
+#include "mon/snapshot.hpp"
 #include "mon/stats.hpp"
 
 namespace loom::mon {
 
-void Monitor::observe_batch(const spec::Trace& slice) {
-  for (const auto& ev : slice) observe(ev.name, ev.time);
+void Monitor::observe_batch(const spec::TimedEvent* begin,
+                            const spec::TimedEvent* end) {
+  for (const spec::TimedEvent* ev = begin; ev != end; ++ev) {
+    observe(ev->name, ev->time);
+  }
+}
+
+void snapshot_violation(Snapshot& out, const std::optional<Violation>& v) {
+  out.put_bool(v.has_value());
+  if (!v.has_value()) return;
+  out.put_u64(v->event_ordinal);
+  out.put_time(v->time);
+  out.put_u64(v->name);
+  out.put_string(v->reason);
+}
+
+void restore_violation(SnapshotReader& in, std::optional<Violation>& v) {
+  if (!in.boolean()) {
+    v.reset();
+    return;
+  }
+  if (!v.has_value()) v.emplace();
+  v->event_ordinal = static_cast<std::size_t>(in.u64());
+  v->time = in.time();
+  v->name = static_cast<spec::Name>(in.u64());
+  in.string_into(v->reason);
 }
 
 const char* to_string(Verdict v) {

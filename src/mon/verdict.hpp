@@ -11,7 +11,10 @@
 //!     violation) — the replay engine's foundation;
 //!   - reset() ≡ fresh construction, bit for bit, including the Figure-6
 //!     stats accounting — the instance-reuse foundation
-//!     (mon_reset_reuse_test).
+//!     (mon_reset_reuse_test);
+//!   - restore(s) after snapshot(s) ≡ the state at snapshot time, bit for
+//!     bit, stats included — the checkpointed-replay foundation
+//!     (mon_snapshot_test).
 #pragma once
 
 #include <cstddef>
@@ -23,6 +26,9 @@
 #include "spec/reference.hpp"
 
 namespace loom::mon {
+
+class Snapshot;        // mon/snapshot.hpp
+class SnapshotReader;  // mon/snapshot.hpp
 
 enum class Verdict {
   Monitoring,  // active, no recognition in progress, no violation
@@ -52,13 +58,19 @@ class Monitor {
 
   /// Feeds one observed interface event.
   virtual void observe(spec::Name name, sim::Time time) = 0;
-  /// Steps a recorded trace slice back-to-back.  Semantically identical to
+  /// Steps a recorded event range back-to-back.  Semantically identical to
   /// calling observe() once per event — same verdict, same stats, every
   /// event stepped even past a violation — the concrete monitors merely
   /// override it to skip the per-event virtual dispatch.  Replay paths
   /// (MonitorModule::BatchPolicy::ReplayAll, the campaign engine) lean on
-  /// that equivalence for their bit-identity guarantees.
-  virtual void observe_batch(const spec::Trace& slice);
+  /// that equivalence for their bit-identity guarantees; the range form is
+  /// what lets the checkpointed engine replay only a mutant's suffix.
+  virtual void observe_batch(const spec::TimedEvent* begin,
+                             const spec::TimedEvent* end);
+  /// Whole-trace convenience form of the range overload above.
+  void observe_batch(const spec::Trace& slice) {
+    observe_batch(slice.data(), slice.data() + slice.size());
+  }
   /// Signals end of observation at `end_time` (deadline checks).
   virtual void finish(sim::Time end_time) { (void)end_time; }
   /// Time-triggered check between events (in-simulation watchdogs).
@@ -75,6 +87,23 @@ class Monitor {
 
   /// Restores the initial state (keeps the compiled plan).
   virtual void reset() = 0;
+
+  /// Serializes the complete mutable state — recognizers, stats, verdict,
+  /// violation, timing registers — into `out` (cleared first; capacity
+  /// reused).  The compiled plan is not part of the state: a snapshot may
+  /// be restored into any instance of the same kind stamped from the same
+  /// plan.
+  virtual void snapshot(Snapshot& out) const = 0;
+  /// Inverse of snapshot(): afterwards the instance is bit-identical to
+  /// the one snapshot() saw — continuing observation is indistinguishable
+  /// from an uninterrupted run (mon_snapshot_test).  Throws
+  /// std::logic_error when `in` was written by a different monitor kind.
+  virtual void restore(const Snapshot& in) = 0;
 };
+
+/// Shared snapshot encoding of a violation report (all monitor kinds carry
+/// one): presence flag, ordinal, time, name, reason string.
+void snapshot_violation(Snapshot& out, const std::optional<Violation>& v);
+void restore_violation(SnapshotReader& in, std::optional<Violation>& v);
 
 }  // namespace loom::mon

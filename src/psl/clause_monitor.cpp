@@ -1,6 +1,15 @@
 #include "psl/clause_monitor.hpp"
 
+#include <stdexcept>
+
+#include "mon/snapshot.hpp"
+#include "support/diagnostics.hpp"
+
 namespace loom::psl {
+namespace {
+// Format tag (see mon/antecedent_monitor.cpp): kind-checks restore().
+constexpr std::uint64_t kSnapshotTag = 0x434C4155;  // "CLAU"
+}  // namespace
 
 ClauseMonitor::ClauseMonitor(Encoding encoding)
     : ClauseMonitor(std::make_shared<const Encoding>(std::move(encoding))) {}
@@ -220,6 +229,50 @@ void ClauseMonitor::reset() {
   rounds_ = 0;
   ordinal_ = 0;
   stats_.reset();
+}
+
+void ClauseMonitor::snapshot(mon::Snapshot& out) const {
+  out.clear();
+  out.put_u64(kSnapshotTag);
+  stats_.snapshot(out);
+  lexer_.snapshot(out);
+  out.put_bits(armed_);
+  out.put_u64(static_cast<std::uint64_t>(verdict_));
+  mon::snapshot_violation(out, violation_);
+  out.put_bool(in_progress_);
+  out.put_u64(rounds_);
+  out.put_u64(ordinal_);
+  out.put_u64(range_seen_.size());
+  for (const auto& f : range_seen_) out.put_bits(f);
+  out.put_bool(armed_obligation_);
+  out.put_bool(q_done_);
+  out.put_time(t_start_);
+}
+
+void ClauseMonitor::restore(const mon::Snapshot& in) {
+  mon::SnapshotReader r(in);
+  if (r.u64() != kSnapshotTag) {
+    throw std::logic_error(
+        "ClauseMonitor::restore: snapshot of a different monitor kind");
+  }
+  stats_.restore(r);
+  lexer_.restore(r);
+  r.bits_into(armed_);
+  verdict_ = static_cast<mon::Verdict>(r.u64());
+  mon::restore_violation(r, violation_);
+  in_progress_ = r.boolean();
+  rounds_ = r.u64();
+  ordinal_ = static_cast<std::size_t>(r.u64());
+  const std::size_t fragments = static_cast<std::size_t>(r.u64());
+  if (fragments != range_seen_.size()) {
+    throw std::logic_error(
+        "ClauseMonitor::restore: snapshot of a different clause set");
+  }
+  for (auto& f : range_seen_) r.bits_into(f);
+  armed_obligation_ = r.boolean();
+  q_done_ = r.boolean();
+  t_start_ = r.time();
+  LOOM_DASSERT(r.exhausted());  // format drift: snapshot wrote more fields
 }
 
 }  // namespace loom::psl

@@ -1,6 +1,20 @@
 #include "psl/rle_lexer.hpp"
 
+#include "mon/snapshot.hpp"
+
 namespace loom::psl {
+
+void RleLexer::snapshot(mon::Snapshot& out) const {
+  out.put_u64(current_);
+  out.put_u64(count_);
+  out.put_bool(emitted_);
+}
+
+void RleLexer::restore(mon::SnapshotReader& in) {
+  current_ = static_cast<spec::Name>(in.u64());
+  count_ = static_cast<std::uint32_t>(in.u64());
+  emitted_ = in.boolean();
+}
 
 RleLexer::RleLexer(const TokenVocab& vocab, mon::MonitorStats& stats)
     : vocab_(&vocab), stats_(&stats) {}

@@ -44,6 +44,11 @@ class RleLexer {
 
   void reset();
 
+  /// Checkpoint support: current-source register, block counter and the
+  /// emitted flag (mon/snapshot.hpp).
+  void snapshot(mon::Snapshot& out) const;
+  void restore(mon::SnapshotReader& in);
+
   /// Lexer state: the block counter (sized by the largest upper bound), the
   /// current-source register and the emitted flag.
   std::size_t space_bits() const;

@@ -1,8 +1,13 @@
-// Tiny positional-argument parsing shared by the bench / example mains.
+// Tiny positional-argument and flag-value parsing shared by the bench /
+// example mains.
 #pragma once
 
+#include <cerrno>
 #include <cstddef>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
 
 namespace loom::support {
 
@@ -15,10 +20,43 @@ inline std::size_t parse_count(int argc, char** argv, int index,
   if (argc <= index) return fallback;
   const char* text = argv[index];
   if (text == nullptr || *text == '\0' || *text == '-') return fallback;
+  errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text, &end, 10);
-  if (end == nullptr || *end != '\0' || value == 0) return fallback;
+  if (errno == ERANGE || end == nullptr || *end != '\0' || value == 0 ||
+      value > std::numeric_limits<std::size_t>::max()) {
+    return fallback;
+  }
   return static_cast<std::size_t>(value);
+}
+
+/// Parses a strictly positive decimal count from a flag value
+/// ("--checkpoint-stride=N"); nullopt on garbage, zero, empty, overflow or
+/// any non-digit character (no "+", no whitespace) — unlike parse_count
+/// there is no fallback, so tools can reject bad values with a usage error
+/// instead of silently substituting.
+inline std::optional<std::size_t> parse_positive(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  for (const char* c = text; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0' || value == 0 ||
+      value > std::numeric_limits<std::size_t>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(value);
+}
+
+/// Parses the exact spellings "on" / "off" ("--incremental=on"); nullopt on
+/// anything else.
+inline std::optional<bool> parse_on_off(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  if (std::strcmp(text, "on") == 0) return true;
+  if (std::strcmp(text, "off") == 0) return false;
+  return std::nullopt;
 }
 
 }  // namespace loom::support
