@@ -1,0 +1,116 @@
+// Shared JSON emission for the benchmark binaries, so the hand-rolled
+// mains (bench_scaling) speak the same --benchmark_format=json dialect as
+// the google-benchmark binaries and tools/bench_record.py can normalize
+// both with one code path into the tracked BENCH_*.json baselines.
+//
+// Only the subset of google-benchmark's JSON schema that bench_record.py
+// consumes is emitted: a "context" object (num_cpus, executable) and a
+// "benchmarks" array of {name, run_type, real_time, time_unit, label,
+// <counter>: value} objects.  Counter names are part of the baseline
+// schema — see CampaignResult::diagnostic_counters() — and must stay
+// stable across PRs or the recorded perf trajectory is orphaned.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace loom::bench {
+
+/// Guarded ratio for counter math: a zero denominator means "no such work
+/// happened" and reports 0.0, never NaN — NaN is unorderable, so a
+/// regression gate could not threshold it (and printf renders it "nan%").
+inline double safe_ratio(double num, double den) {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+/// True when argv asks for JSON output, using the exact spelling the
+/// google-benchmark binaries accept, so one flag drives every binary.
+inline bool json_format_requested(int argc, char** argv) {
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--benchmark_format=json") == 0) return true;
+  }
+  return false;
+}
+
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// One benchmark entry: a stable name, wall time in nanoseconds, an
+/// optional human label, and named counters (insertion order preserved).
+struct JsonBenchmark {
+  std::string name;
+  double real_time_ns = 0.0;
+  std::string label;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Accumulates entries and writes the google-benchmark-compatible JSON
+/// document.  Times are always emitted in nanoseconds ("time_unit": "ns"),
+/// matching what the google-benchmark binaries produce by default.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string executable)
+      : executable_(std::move(executable)) {}
+
+  void add(JsonBenchmark entry) { benchmarks_.push_back(std::move(entry)); }
+
+  void write(std::ostream& os) const {
+    char buf[64];
+    const auto number = [&buf](double v) {
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      return std::string(buf);
+    };
+    os << "{\n  \"context\": {\n";
+    os << "    \"executable\": \"" << json_escape(executable_) << "\",\n";
+    os << "    \"num_cpus\": "
+       << std::max(1u, std::thread::hardware_concurrency()) << "\n";
+    os << "  },\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < benchmarks_.size(); ++i) {
+      const JsonBenchmark& b = benchmarks_[i];
+      os << "    {\n";
+      os << "      \"name\": \"" << json_escape(b.name) << "\",\n";
+      os << "      \"run_type\": \"iteration\",\n";
+      os << "      \"real_time\": " << number(b.real_time_ns) << ",\n";
+      os << "      \"time_unit\": \"ns\"";
+      if (!b.label.empty()) {
+        os << ",\n      \"label\": \"" << json_escape(b.label) << "\"";
+      }
+      for (const auto& [name, value] : b.counters) {
+        os << ",\n      \"" << json_escape(name) << "\": " << number(value);
+      }
+      os << "\n    }" << (i + 1 < benchmarks_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+  }
+
+ private:
+  std::string executable_;
+  std::vector<JsonBenchmark> benchmarks_;
+};
+
+}  // namespace loom::bench

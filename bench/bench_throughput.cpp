@@ -10,8 +10,11 @@
 // not folklore.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "abv/campaign.hpp"
 #include "abv/stimuli.hpp"
+#include "bench_json.hpp"
 #include "mon/monitors.hpp"
 #include "psl/clause_monitor.hpp"
 #include "sim/scheduler.hpp"
@@ -22,23 +25,83 @@ namespace {
 
 using namespace loom;
 
-// Per-iteration allocation tally for the campaign loops, reported per work
-// unit (a seed's valid phase or one seed×kind mutation batch) and per
-// mutant attempt.  Thread-local counters only see the serial campaigns'
-// own thread — which is exactly the steady-state loop being measured.
-struct AllocTally {
+// Per-iteration tally for the campaign loops: heap allocations (reported
+// per work unit — a seed's valid phase or one seed×kind mutation batch —
+// and per mutant attempt; thread-local counters only see the serial
+// campaigns' own thread, which is exactly the steady-state loop being
+// measured), wall time per unit, and the engine diagnostics from
+// CampaignResult summed across iterations.  report() emits the stable
+// counter schema the tracked BENCH_*.json baselines record — names are
+// API (tools/bench_compare.py thresholds them by name); every ratio
+// guards its denominator via bench::safe_ratio, so a zero-work shape
+// reports 0, never NaN.
+struct CampaignTally {
   std::uint64_t allocs = 0;
   std::uint64_t units = 0;
   std::uint64_t mutants = 0;
+  std::uint64_t monitor_events = 0;
+  double seconds = 0.0;
+  std::uint64_t trace_cache_hits = 0;
+  std::uint64_t trace_cache_misses = 0;
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
+  std::uint64_t instances_stamped = 0;
+  std::uint64_t instance_reuses = 0;
+  std::uint64_t checkpoint_hits = 0;
+  std::uint64_t events_skipped = 0;
+  bool backend_viapsl = false;
+
+  /// Times one campaign run and folds its diagnostics into the tally.
+  template <typename Run>
+  auto timed(Run&& run) {
+    const auto begin = std::chrono::steady_clock::now();
+    auto result = run();
+    seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    return result;
+  }
+
+  void absorb(const abv::CampaignResult& r) {
+    monitor_events += r.monitor_stats.events;
+    trace_cache_hits += r.trace_cache_hits;
+    trace_cache_misses += r.trace_cache_misses;
+    plan_cache_hits += r.compile_stats.plan_cache_hits;
+    plan_cache_misses += r.compile_stats.plan_cache_misses;
+    instances_stamped += r.compile_stats.instances_stamped;
+    instance_reuses += r.compile_stats.instance_reuses;
+    checkpoint_hits += r.checkpoint_hits;
+    events_skipped += r.events_skipped;
+    backend_viapsl = r.compile_stats.backend_chosen == mon::Backend::ViaPSL;
+  }
 
   void report(benchmark::State& state) const {
-    if (!support::AllocCounter::hooks_linked() || units == 0) return;
-    state.counters["allocs/unit"] = benchmark::Counter(
-        static_cast<double>(allocs) / static_cast<double>(units));
-    if (mutants != 0) {
-      state.counters["allocs/mutant"] = benchmark::Counter(
-          static_cast<double>(allocs) / static_cast<double>(mutants));
+    using bench::safe_ratio;
+    const auto d = [](std::uint64_t v) { return static_cast<double>(v); };
+    if (units != 0) {
+      state.counters["wall/unit"] =
+          benchmark::Counter(safe_ratio(seconds * 1e9, d(units)));  // ns
+      if (support::AllocCounter::hooks_linked()) {
+        state.counters["allocs/unit"] =
+            benchmark::Counter(safe_ratio(d(allocs), d(units)));
+        if (mutants != 0) {
+          state.counters["allocs/mutant"] =
+              benchmark::Counter(safe_ratio(d(allocs), d(mutants)));
+        }
+      }
     }
+    state.counters["trace_cache_hit_rate"] = benchmark::Counter(safe_ratio(
+        d(trace_cache_hits), d(trace_cache_hits + trace_cache_misses)));
+    state.counters["plan_cache_hit_rate"] = benchmark::Counter(safe_ratio(
+        d(plan_cache_hits), d(plan_cache_hits + plan_cache_misses)));
+    state.counters["instance_reuse_rate"] = benchmark::Counter(safe_ratio(
+        d(instance_reuses), d(instances_stamped + instance_reuses)));
+    state.counters["checkpoint_hits"] = benchmark::Counter(d(checkpoint_hits));
+    state.counters["events_skipped"] = benchmark::Counter(d(events_skipped));
+    state.counters["skip_ratio"] = benchmark::Counter(safe_ratio(
+        d(events_skipped), d(events_skipped) + d(monitor_events)));
+    state.counters["backend_viapsl"] =
+        benchmark::Counter(backend_viapsl ? 1.0 : 0.0);
   }
 };
 
@@ -146,17 +209,17 @@ void BM_CampaignSharded(benchmark::State& state) {
   opt.mutants_per_kind = 8;
   opt.threads = static_cast<std::size_t>(state.range(0));
   opt.shard_size = 1;
-  std::uint64_t monitor_events = 0;
-  AllocTally tally;
+  CampaignTally tally;
   for (auto _ : state) {
     support::AllocCounter::Scope scope;
-    const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    const abv::CampaignResult r =
+        tally.timed([&] { return abv::run_campaign(fx.property, fx.ab, opt); });
     tally.allocs += scope.allocs();  // workers' allocations not included
     tally.units += opt.seeds * 6;
-    monitor_events += r.monitor_stats.events;
+    tally.absorb(r);
     benchmark::DoNotOptimize(r);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetItemsProcessed(static_cast<std::int64_t>(tally.monitor_events));
   tally.report(state);
   state.SetLabel("threads=" + std::to_string(opt.threads));
 }
@@ -180,18 +243,18 @@ void BM_CampaignMutationHeavy(benchmark::State& state) {
   opt.reuse_traces = gear >= 1;
   opt.batch_replay = gear >= 1;
   opt.reuse_scratch = gear >= 2;
-  std::uint64_t monitor_events = 0;
-  AllocTally tally;
+  CampaignTally tally;
   for (auto _ : state) {
     support::AllocCounter::Scope scope;
-    const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    const abv::CampaignResult r =
+        tally.timed([&] { return abv::run_campaign(fx.property, fx.ab, opt); });
     tally.allocs += scope.allocs();
     tally.units += opt.seeds * 6;
     tally.mutants += opt.seeds * 5 * opt.mutants_per_kind;
-    monitor_events += r.monitor_stats.events;
+    tally.absorb(r);
     benchmark::DoNotOptimize(r);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetItemsProcessed(static_cast<std::int64_t>(tally.monitor_events));
   tally.report(state);
   state.SetLabel(gear == 0   ? "legacy"
                  : gear == 1 ? "reuse_traces+batch_replay"
@@ -219,32 +282,22 @@ void BM_CampaignIncremental(benchmark::State& state) {
   opt.threads = 1;
   opt.incremental_replay = incremental;
   opt.checkpoint_stride = 32;
-  std::uint64_t monitor_events = 0;
-  std::uint64_t checkpoint_hits = 0;
-  std::uint64_t events_skipped = 0;
-  AllocTally tally;
+  CampaignTally tally;
   for (auto _ : state) {
     support::AllocCounter::Scope scope;
-    const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    const abv::CampaignResult r =
+        tally.timed([&] { return abv::run_campaign(fx.property, fx.ab, opt); });
     tally.allocs += scope.allocs();
     tally.units += opt.seeds * 6;
     tally.mutants += opt.seeds * 5 * opt.mutants_per_kind;
-    monitor_events += r.monitor_stats.events;
-    checkpoint_hits += r.checkpoint_hits;
-    events_skipped += r.events_skipped;
+    tally.absorb(r);
     benchmark::DoNotOptimize(r);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetItemsProcessed(static_cast<std::int64_t>(tally.monitor_events));
+  // The tally emits skip_ratio on both gears (0 for full replay) with a
+  // guarded denominator, so the counter schema is identical across the
+  // sweep and a zero-mutant shape can never print nan.
   tally.report(state);
-  if (incremental) {
-    state.counters["checkpoint_hits"] = benchmark::Counter(
-        static_cast<double>(checkpoint_hits));
-    state.counters["events_skipped"] = benchmark::Counter(
-        static_cast<double>(events_skipped));
-    state.counters["skip_ratio"] = benchmark::Counter(
-        static_cast<double>(events_skipped) /
-        static_cast<double>(events_skipped + monitor_events));
-  }
   state.SetLabel(incremental ? "incremental (suffix-only) replay"
                              : "full replay");
 }
@@ -265,18 +318,18 @@ void BM_CampaignCompiledPlans(benchmark::State& state) {
   opt.mutants_per_kind = 24;  // mutation-heavy: stamping dominates
   opt.threads = 1;
   opt.use_compiled_plans = compiled;
-  std::uint64_t monitor_events = 0;
-  AllocTally tally;
+  CampaignTally tally;
   for (auto _ : state) {
     support::AllocCounter::Scope scope;
-    const abv::CampaignResult r = abv::run_campaign(fx.property, fx.ab, opt);
+    const abv::CampaignResult r =
+        tally.timed([&] { return abv::run_campaign(fx.property, fx.ab, opt); });
     tally.allocs += scope.allocs();
     tally.units += opt.seeds * 6;
     tally.mutants += opt.seeds * 5 * opt.mutants_per_kind;
-    monitor_events += r.monitor_stats.events;
+    tally.absorb(r);
     benchmark::DoNotOptimize(r);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetItemsProcessed(static_cast<std::int64_t>(tally.monitor_events));
   tally.report(state);
   state.SetLabel(compiled ? "compiled plans" : "legacy per-unit translation");
 }
@@ -308,26 +361,20 @@ void BM_CampaignManyProperties(benchmark::State& state) {
   opt.use_compiled_plans = gear >= 1;
   mon::CompiledPropertyCache plan_cache;
   if (gear >= 2) opt.plan_cache = &plan_cache;
-  std::uint64_t monitor_events = 0;
-  std::uint64_t plan_cache_hits = 0;
-  AllocTally tally;
+  CampaignTally tally;
   for (auto _ : state) {
     support::AllocCounter::Scope scope;
-    const auto results = abv::run_campaigns(ptrs, ab, opt);
+    const auto results =
+        tally.timed([&] { return abv::run_campaigns(ptrs, ab, opt); });
     tally.allocs += scope.allocs();
     tally.units += opt.seeds * 6 * ptrs.size();
-    for (const auto& r : results) {
-      monitor_events += r.monitor_stats.events;
-      plan_cache_hits += r.compile_stats.plan_cache_hits;
-    }
+    for (const auto& r : results) tally.absorb(r);
     benchmark::DoNotOptimize(results);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(monitor_events));
+  state.SetItemsProcessed(static_cast<std::int64_t>(tally.monitor_events));
+  // plan_cache_hit_rate from the tally replaces the old raw hit counter:
+  // gear 2 converges toward 1.0 as iterations replay the warm cache.
   tally.report(state);
-  if (gear >= 2) {
-    state.counters["plan_cache_hits"] = benchmark::Counter(
-        static_cast<double>(plan_cache_hits));
-  }
   state.SetLabel(gear == 0   ? "legacy per-unit translation"
                  : gear == 1 ? "compiled plans"
                              : "+cross-campaign plan cache");

@@ -77,9 +77,20 @@ int main(int argc, char** argv) {
   }
   const int pos_argc = static_cast<int>(positional.size());
   char** pos_argv = positional.data();
-  const std::size_t threads = support::parse_count(
+  // A present-but-malformed positional ("5x", "99999999999999999999") is a
+  // usage error, not a silent fallback to the default.
+  const auto threads_arg = support::parse_count(
       pos_argc, pos_argv, 1, std::max(1u, std::thread::hardware_concurrency()));
-  const std::size_t seeds = support::parse_count(pos_argc, pos_argv, 2, 24);
+  if (!threads_arg) {
+    return usage_error("bad threads '%s' (want a positive count)\n",
+                       pos_argv[1]);
+  }
+  const std::size_t threads = *threads_arg;
+  const auto seeds_arg = support::parse_count(pos_argc, pos_argv, 2, 24);
+  if (!seeds_arg) {
+    return usage_error("bad seeds '%s' (want a positive count)\n", pos_argv[2]);
+  }
+  const std::size_t seeds = *seeds_arg;
   const auto backend = mon::parse_backend_arg(pos_argc, pos_argv, 3);
   if (!backend) {
     return usage_error("bad backend '%s' (want auto, drct or viapsl)\n",
@@ -175,14 +186,18 @@ int main(int argc, char** argv) {
       "%zu instances stamped, %zu reset-reused\n",
       properties.size(), stamped, reused);
   if (incremental) {
+    // Guard the denominator: a zero-seed / empty-trace campaign steps and
+    // skips nothing, and "0%" beats printing nan.
+    const std::size_t replayable = events_skipped + events_stepped;
     std::printf(
         "incremental replay (stride %zu): %zu checkpoint restores skipped "
         "%zu prefix events (%.0f%% of the %zu the monitors would have "
         "stepped)\n",
         checkpoint_stride, checkpoint_hits, events_skipped,
-        100.0 * static_cast<double>(events_skipped) /
-            static_cast<double>(events_skipped + events_stepped),
-        events_skipped + events_stepped);
+        replayable == 0 ? 0.0
+                        : 100.0 * static_cast<double>(events_skipped) /
+                              static_cast<double>(replayable),
+        replayable);
   }
   std::printf("serial:   %7.1f ms\n", serial_s * 1e3);
   std::printf("parallel: %7.1f ms  (%.2fx on %zu threads)\n",

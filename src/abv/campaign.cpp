@@ -640,6 +640,35 @@ CampaignResult run_campaign(const spec::Property& property,
   return run_campaigns({&property}, ab, options)[0];
 }
 
+std::vector<CampaignResult::DiagnosticCounter>
+CampaignResult::diagnostic_counters() const {
+  // Guarded ratio: a zero denominator means "no such work happened", which
+  // reports as 0 — bench counters and the JSON baselines must never hold
+  // NaN (it is unorderable, so a regression gate could not threshold it).
+  const auto ratio = [](double num, double den) {
+    return den == 0.0 ? 0.0 : num / den;
+  };
+  const double trace_hits = static_cast<double>(trace_cache_hits);
+  const double trace_misses = static_cast<double>(trace_cache_misses);
+  const double plan_hits = static_cast<double>(compile_stats.plan_cache_hits);
+  const double plan_misses =
+      static_cast<double>(compile_stats.plan_cache_misses);
+  const double stamped = static_cast<double>(compile_stats.instances_stamped);
+  const double reuses = static_cast<double>(compile_stats.instance_reuses);
+  const double skipped = static_cast<double>(events_skipped);
+  const double stepped = static_cast<double>(monitor_stats.events);
+  return {
+      {"trace_cache_hit_rate", ratio(trace_hits, trace_hits + trace_misses)},
+      {"plan_cache_hit_rate", ratio(plan_hits, plan_hits + plan_misses)},
+      {"instance_reuse_rate", ratio(reuses, stamped + reuses)},
+      {"checkpoint_hits", static_cast<double>(checkpoint_hits)},
+      {"events_skipped", skipped},
+      {"skip_ratio", ratio(skipped, skipped + stepped)},
+      {"backend_viapsl",
+       compile_stats.backend_chosen == mon::Backend::ViaPSL ? 1.0 : 0.0},
+  };
+}
+
 std::string CampaignResult::report(const spec::Alphabet&,
                                    bool with_engine_diagnostics) const {
   char buf[256];

@@ -222,6 +222,23 @@ struct CampaignResult {
   std::size_t checkpoint_hits = 0;
   std::size_t events_skipped = 0;
 
+  /// One engine diagnostic as a named counter for benchmark export.  The
+  /// names are the schema of the tracked BENCH_*.json baselines that
+  /// tools/bench_compare.py diffs — renaming one orphans the recorded perf
+  /// trajectory, so treat them as API.
+  struct DiagnosticCounter {
+    const char* name;
+    double value;
+  };
+
+  /// The engine diagnostics as stable named counters: trace/plan-cache hit
+  /// rates, instance reuse rate, the incremental-replay skip ratio and the
+  /// chosen backend (0 = Drct, 1 = ViaPSL).  Every ratio guards its
+  /// denominator — a zero-work campaign (no events, no mutants, caches
+  /// off) reports 0, never NaN — so the values can go straight into
+  /// benchmark counters and JSON baselines.
+  std::vector<DiagnosticCounter> diagnostic_counters() const;
+
   /// A healthy campaign: monitors agree with the oracle everywhere, all
   /// valid traces pass, and no invalid mutant escapes detection.
   bool ok() const {

@@ -1,6 +1,8 @@
 #include "abv/trace.hpp"
 
+#include <charconv>
 #include <sstream>
+#include <system_error>
 #include <type_traits>
 
 namespace loom::abv {
@@ -29,6 +31,9 @@ std::optional<spec::Trace> from_text(std::string_view text,
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Tolerate CRLF-recorded files: one trailing '\r' is line-ending
+    // convention, not timestamp garbage.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     const auto at = line.find('@');
     if (at == std::string::npos || at == 0) {
@@ -36,11 +41,34 @@ std::optional<spec::Trace> from_text(std::string_view text,
       return std::nullopt;
     }
     const std::string name = line.substr(0, at);
+    if (name.find_first_of(" \t\v\f") != std::string::npos) {
+      sink.error({line_no, 1}, "whitespace in event name: " + line);
+      return std::nullopt;
+    }
+    // Full-match unsigned parse of the timestamp.  std::stoull would
+    // silently accept trailing garbage ("a@5xyz" → 5), skip leading
+    // whitespace, and wrap negative input ("a@-1") to a huge u64;
+    // std::from_chars rejects all three, and anything short of consuming
+    // the whole field is a diagnostic, not a truncated value.
+    const char* const first = line.data() + at + 1;
+    const char* const last = line.data() + line.size();
     std::uint64_t ps = 0;
-    try {
-      ps = std::stoull(line.substr(at + 1));
-    } catch (const std::exception&) {
-      sink.error({line_no, at + 2}, "bad timestamp in: " + line);
+    const auto [ptr, ec] = std::from_chars(first, last, ps, 10);
+    if (ec == std::errc::result_out_of_range) {
+      sink.error({line_no, at + 2},
+                 "bad timestamp (overflows 64-bit picoseconds) in: " + line);
+      return std::nullopt;
+    }
+    if (ec != std::errc() || ptr == first) {
+      sink.error({line_no, at + 2},
+                 "bad timestamp (want unsigned decimal picoseconds) in: " +
+                     line);
+      return std::nullopt;
+    }
+    if (ptr != last) {
+      sink.error({line_no, static_cast<std::size_t>(ptr - line.data()) + 1},
+                 "bad timestamp (trailing garbage after picoseconds) in: " +
+                     line);
       return std::nullopt;
     }
     trace.push_back({ab.name(name), sim::Time::ps(ps)});

@@ -1,57 +1,49 @@
 // Tiny positional-argument and flag-value parsing shared by the bench /
-// example mains.
+// example mains.  All numeric parsing is full-match std::from_chars:
+// trailing garbage ("5x"), signs ("+5", "-1"), whitespace (" 5") and
+// 64-bit overflow ("99999999999999999999") are rejected outright, never
+// truncated or silently substituted — the callers turn the rejection into
+// a usage error (exit 2).
 #pragma once
 
-#include <cerrno>
+#include <charconv>
 #include <cstddef>
-#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <optional>
+#include <system_error>
 
 namespace loom::support {
 
-/// Parses argv[index] as a positive count; anything that is not a plain
-/// positive decimal number (garbage, zero, negative, trailing junk, or a
-/// missing argument) yields `fallback`, so a sweep can never silently run
-/// with a nonsense parameter.
-inline std::size_t parse_count(int argc, char** argv, int index,
-                               std::size_t fallback) {
-  if (argc <= index) return fallback;
-  const char* text = argv[index];
-  if (text == nullptr || *text == '\0' || *text == '-') return fallback;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(text, &end, 10);
-  if (errno == ERANGE || end == nullptr || *end != '\0' || value == 0 ||
-      value > std::numeric_limits<std::size_t>::max()) {
-    return fallback;
-  }
-  return static_cast<std::size_t>(value);
-}
-
-/// Parses a strictly positive decimal count from a flag value
-/// ("--checkpoint-stride=N"); nullopt on garbage, zero, empty, overflow or
-/// any non-digit character (no "+", no whitespace) — unlike parse_count
-/// there is no fallback, so tools can reject bad values with a usage error
-/// instead of silently substituting.
+/// Parses a strictly positive decimal count ("--checkpoint-stride=N",
+/// "--threads=N"); nullopt on garbage, zero, empty, sign, whitespace,
+/// trailing junk or anything that overflows std::size_t, so tools reject
+/// bad values with a usage error instead of truncating them.
 inline std::optional<std::size_t> parse_positive(const char* text) {
   if (text == nullptr || *text == '\0') return std::nullopt;
-  for (const char* c = text; *c != '\0'; ++c) {
-    if (*c < '0' || *c > '9') return std::nullopt;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(text, &end, 10);
-  if (errno == ERANGE || end == nullptr || *end != '\0' || value == 0 ||
-      value > std::numeric_limits<std::size_t>::max()) {
+  const char* const last = text + std::strlen(text);
+  unsigned long long value = 0;
+  const auto [ptr, ec] = std::from_chars(text, last, value, 10);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (value == 0 || value > std::numeric_limits<std::size_t>::max()) {
     return std::nullopt;
   }
   return static_cast<std::size_t>(value);
 }
 
+/// Parses argv[index] as a positive count.  A missing argument yields the
+/// fallback (positionals are optional); an argument that is present but
+/// not a plain positive decimal number yields nullopt, so the caller can
+/// exit with a usage error instead of silently running a sweep with a
+/// nonsense parameter.
+inline std::optional<std::size_t> parse_count(int argc, char** argv, int index,
+                                              std::size_t fallback) {
+  if (argc <= index || argv[index] == nullptr) return fallback;
+  return parse_positive(argv[index]);
+}
+
 /// Parses the exact spellings "on" / "off" ("--incremental=on"); nullopt on
-/// anything else.
+/// anything else (case-sensitive, no surrounding whitespace).
 inline std::optional<bool> parse_on_off(const char* text) {
   if (text == nullptr) return std::nullopt;
   if (std::strcmp(text, "on") == 0) return true;

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string_view>
+
 #include "abv/campaign.hpp"
 #include "testing.hpp"
 
@@ -53,6 +56,47 @@ TEST(Campaign, MutationsAreActuallyKilled) {
   }
   EXPECT_EQ(r.mutation[4].applied, 0u);
   EXPECT_GT(r.recognizer_state_coverage, 0.3);
+}
+
+TEST(Campaign, DiagnosticCountersAreFiniteAndGuarded) {
+  // A default-constructed result has every denominator at zero; the
+  // counters must report 0, never NaN — they feed benchmark counters and
+  // the tracked BENCH_*.json baselines, where NaN is unthresholdable.
+  const CampaignResult empty;
+  for (const auto& c : empty.diagnostic_counters()) {
+    EXPECT_TRUE(std::isfinite(c.value)) << c.name;
+    EXPECT_EQ(c.value, 0.0) << c.name;
+  }
+
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(({a, b}, &) < c << i, true)", ab);
+  CampaignOptions opt;
+  opt.seeds = 4;
+  opt.stimuli.rounds = 2;
+  opt.mutants_per_kind = 6;
+  const CampaignResult r = run_campaign(p, ab, opt);
+  const auto counters = r.diagnostic_counters();
+  const auto value = [&](const char* name) {
+    for (const auto& c : counters) {
+      if (std::string_view(c.name) == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return -1.0;
+  };
+  // Rates are true ratios of the underlying counters, in [0, 1].
+  EXPECT_DOUBLE_EQ(value("trace_cache_hit_rate"),
+                   static_cast<double>(r.trace_cache_hits) /
+                       static_cast<double>(r.trace_cache_hits +
+                                           r.trace_cache_misses));
+  EXPECT_DOUBLE_EQ(
+      value("skip_ratio"),
+      static_cast<double>(r.events_skipped) /
+          static_cast<double>(r.events_skipped + r.monitor_stats.events));
+  EXPECT_EQ(value("plan_cache_hit_rate"), 0.0);  // no plan cache configured
+  EXPECT_EQ(value("backend_viapsl"), 0.0);       // cost model picks Drct
+  for (const auto& c : r.diagnostic_counters()) {
+    EXPECT_TRUE(std::isfinite(c.value)) << c.name;
+  }
 }
 
 TEST(Campaign, ReportIsHumanReadable) {

@@ -89,6 +89,20 @@ TEST(TraceRoundTrip, MalformedLinesProducePositionedDiagnostics) {
       {"a@1\nb@xyz\n", 2, "bad timestamp"},
       {"a@\n", 1, "bad timestamp"},
       {"a@99999999999999999999999999\n", 1, "bad timestamp"},
+      // std::stoull used to accept all of these: trailing garbage parsed
+      // as the leading digits, signs and leading whitespace were skipped,
+      // and "-1" wrapped to a huge unsigned value.  The full-match
+      // std::from_chars parse rejects each with a diagnostic.
+      {"a@5xyz\n", 1, "trailing garbage"},
+      {"a@-1\n", 1, "bad timestamp"},
+      {"a@+5\n", 1, "bad timestamp"},
+      {"a@ 5\n", 1, "bad timestamp"},
+      {"a@5 \n", 1, "trailing garbage"},
+      // 2^64 exactly: one past the last representable picosecond stamp.
+      {"a@18446744073709551616\n", 1, "overflows 64-bit"},
+      // Names with embedded whitespace would re-serialize ambiguously.
+      {"a b@5\n", 1, "whitespace in event name"},
+      {"a\tb@5\n", 1, "whitespace in event name"},
   };
   for (const auto& c : cases) {
     spec::Alphabet ab;
@@ -101,6 +115,20 @@ TEST(TraceRoundTrip, MalformedLinesProducePositionedDiagnostics) {
               std::string::npos)
         << "got: " << sink.all().front().message;
   }
+}
+
+TEST(TraceRoundTrip, BoundaryTimestampsAndLineEndingsParse) {
+  // The largest representable stamp must still parse (the overflow
+  // rejection is > 2^64 - 1, not >=), and CRLF-recorded files are
+  // line-ending convention, not trailing garbage.
+  spec::Alphabet ab;
+  support::DiagnosticSink sink;
+  const auto parsed =
+      from_text("a@18446744073709551615\r\nb@0\r\n", ab, sink);
+  ASSERT_TRUE(parsed.has_value()) << sink.to_string();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].time.picoseconds(), 18446744073709551615ull);
+  EXPECT_EQ((*parsed)[1].time.picoseconds(), 0ull);
 }
 
 TEST(TraceRoundTrip, CaptureFeedsRecorderFeedsTextFormat) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "support/args.hpp"
 #include "support/bitset.hpp"
 #include "support/diagnostics.hpp"
 #include "support/interner.hpp"
@@ -180,6 +181,68 @@ TEST(Diagnostics, CollectsAndCounts) {
   EXPECT_EQ(sink.error_count(), 1u);
   EXPECT_EQ(sink.all().size(), 2u);
   EXPECT_NE(sink.to_string().find("3:4: error: broken"), std::string::npos);
+}
+
+TEST(Args, ParsePositiveAcceptsPlainDecimals) {
+  EXPECT_EQ(parse_positive("1"), std::size_t{1});
+  EXPECT_EQ(parse_positive("32"), std::size_t{32});
+  EXPECT_EQ(parse_positive("007"), std::size_t{7});
+  // The largest count representable on this platform round-trips.
+  const auto max = std::numeric_limits<std::size_t>::max();
+  EXPECT_EQ(parse_positive(std::to_string(max).c_str()), max);
+}
+
+TEST(Args, ParsePositiveRejectsGarbageSignsWhitespaceAndOverflow) {
+  // Full-match parse: anything strtoull would have truncated or skipped is
+  // a rejection, so "--checkpoint-stride=5x" and an overflowing
+  // "--threads=99999999999999999999" become usage errors, not surprises.
+  EXPECT_EQ(parse_positive(nullptr), std::nullopt);
+  EXPECT_EQ(parse_positive(""), std::nullopt);
+  EXPECT_EQ(parse_positive("0"), std::nullopt);
+  EXPECT_EQ(parse_positive("5x"), std::nullopt);
+  EXPECT_EQ(parse_positive("x5"), std::nullopt);
+  EXPECT_EQ(parse_positive("+5"), std::nullopt);
+  EXPECT_EQ(parse_positive("-1"), std::nullopt);
+  EXPECT_EQ(parse_positive(" 5"), std::nullopt);
+  EXPECT_EQ(parse_positive("5 "), std::nullopt);
+  EXPECT_EQ(parse_positive("5\t"), std::nullopt);
+  EXPECT_EQ(parse_positive("0x10"), std::nullopt);
+  EXPECT_EQ(parse_positive("99999999999999999999"), std::nullopt);  // > 2^64
+  EXPECT_EQ(parse_positive("18446744073709551616"), std::nullopt);  // 2^64
+}
+
+TEST(Args, ParseCountFallsBackOnlyWhenTheArgumentIsAbsent) {
+  char prog[] = "prog";
+  char good[] = "12";
+  char bad[] = "12x";
+  char huge[] = "99999999999999999999";
+  {
+    char* argv[] = {prog, good};
+    EXPECT_EQ(parse_count(2, argv, 1, 7), std::size_t{12});
+    EXPECT_EQ(parse_count(1, argv, 1, 7), std::size_t{7});  // missing → fallback
+  }
+  {
+    // Present but malformed is nullopt — the caller exits 2, it does not
+    // silently run the sweep with the fallback.
+    char* argv[] = {prog, bad};
+    EXPECT_EQ(parse_count(2, argv, 1, 7), std::nullopt);
+  }
+  {
+    char* argv[] = {prog, huge};
+    EXPECT_EQ(parse_count(2, argv, 1, 7), std::nullopt);
+  }
+}
+
+TEST(Args, ParseOnOffIsExact) {
+  EXPECT_EQ(parse_on_off("on"), true);
+  EXPECT_EQ(parse_on_off("off"), false);
+  EXPECT_EQ(parse_on_off(nullptr), std::nullopt);
+  EXPECT_EQ(parse_on_off(""), std::nullopt);
+  EXPECT_EQ(parse_on_off("On"), std::nullopt);
+  EXPECT_EQ(parse_on_off("ON"), std::nullopt);
+  EXPECT_EQ(parse_on_off("on "), std::nullopt);
+  EXPECT_EQ(parse_on_off(" off"), std::nullopt);
+  EXPECT_EQ(parse_on_off("true"), std::nullopt);
 }
 
 }  // namespace
