@@ -15,7 +15,9 @@
 #include "abv/campaign.hpp"
 #include "abv/stimuli.hpp"
 #include "bench_json.hpp"
+#include "mon/bytecode.hpp"
 #include "mon/monitors.hpp"
+#include "mon/vm.hpp"
 #include "psl/clause_monitor.hpp"
 #include "sim/scheduler.hpp"
 #include "spec/parser.hpp"
@@ -50,6 +52,7 @@ struct CampaignTally {
   std::uint64_t checkpoint_hits = 0;
   std::uint64_t events_skipped = 0;
   bool backend_viapsl = false;
+  bool backend_vm = false;
 
   /// Times one campaign run and folds its diagnostics into the tally.
   template <typename Run>
@@ -73,6 +76,7 @@ struct CampaignTally {
     checkpoint_hits += r.checkpoint_hits;
     events_skipped += r.events_skipped;
     backend_viapsl = r.compile_stats.backend_chosen == mon::Backend::ViaPSL;
+    backend_vm = r.compile_stats.backend_chosen == mon::Backend::Vm;
   }
 
   void report(benchmark::State& state) const {
@@ -102,6 +106,7 @@ struct CampaignTally {
         d(events_skipped), d(events_skipped) + d(monitor_events)));
     state.counters["backend_viapsl"] =
         benchmark::Counter(backend_viapsl ? 1.0 : 0.0);
+    state.counters["backend_vm"] = benchmark::Counter(backend_vm ? 1.0 : 0.0);
   }
 };
 
@@ -146,6 +151,43 @@ void BM_DrctMonitor(benchmark::State& state) {
   state.SetLabel(kConfig[state.range(0)]);
 }
 BENCHMARK(BM_DrctMonitor)->DenseRange(0, 3);
+
+void BM_VmMonitor(benchmark::State& state) {
+  // The same trace replay as BM_DrctMonitor through the bytecode VM: one
+  // compiled program, one frame, reset-reused per iteration.  Verdicts and
+  // the Figure-6 op counts are bit-identical to the Drct row by contract
+  // (tests/mon_bytecode_test.cpp); the delta is pure dispatch mechanics.
+  Fixture fx(kConfig[state.range(0)]);
+  mon::VmMonitor monitor(mon::compile_vm(fx.property));
+  for (auto _ : state) {
+    monitor.reset();
+    for (const auto& ev : fx.trace) monitor.observe(ev.name, ev.time);
+    benchmark::DoNotOptimize(monitor.verdict());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.size()));
+  state.SetLabel(kConfig[state.range(0)]);
+}
+BENCHMARK(BM_VmMonitor)->DenseRange(0, 3);
+
+void BM_VmLaneBatch(benchmark::State& state) {
+  // Many frames of one program advanced event-index-major: the campaign
+  // shard's mutant shape.  Items processed counts every lane's events, so
+  // the rate is directly comparable to BM_VmMonitor's single frame.
+  constexpr std::size_t kLanes = 16;
+  Fixture fx(kConfig[state.range(0)]);
+  mon::VmLaneBatch lanes(mon::compile_vm(fx.property), kLanes);
+  std::vector<const spec::Trace*> traces(kLanes, &fx.trace);
+  for (auto _ : state) {
+    for (std::size_t l = 0; l < kLanes; ++l) lanes.reset(l);
+    lanes.run(traces);
+    benchmark::DoNotOptimize(lanes.verdict(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.trace.size() * kLanes));
+  state.SetLabel(kConfig[state.range(0)]);
+}
+BENCHMARK(BM_VmLaneBatch)->DenseRange(0, 3);
 
 void BM_ViaPslMonitor(benchmark::State& state) {
   Fixture fx(kConfig[state.range(0)]);
@@ -226,13 +268,16 @@ void BM_CampaignSharded(benchmark::State& state) {
 BENCHMARK(BM_CampaignSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_CampaignMutationHeavy(benchmark::State& state) {
-  // Mutation-heavy campaign in three gears: the fully naive engine, the
-  // PR 2 cached+batched engine, and the zero-allocation scratch engine
+  // Mutation-heavy campaign in four gears: the fully naive engine, the
+  // PR 2 cached+batched engine, the zero-allocation scratch engine
   // (per-worker mutant buffers, per-shard monitor pools, hoisted replay
-  // host).  All three produce bit-identical results (enforced by
-  // campaign_replay_diff_test / campaign_scratch_diff_test); only the wall
-  // clock and the allocation counters differ — allocs/mutant drops to ~0
-  // in the scratch gear once the arena is warm.
+  // host), and the scratch engine running the bytecode VM backend.  All
+  // four produce bit-identical mutation results (enforced by
+  // campaign_replay_diff_test / campaign_scratch_diff_test, whose backend
+  // grids include Vm); only the wall clock and the allocation counters
+  // differ — allocs/mutant drops to ~0 in the scratch gears once the
+  // arena is warm, and the VM gear trades the Drct monitors' virtual
+  // per-event stepping for the flat dispatch loop.
   const int gear = static_cast<int>(state.range(0));
   Fixture fx(kConfig[2], 4);
   abv::CampaignOptions opt;
@@ -243,6 +288,7 @@ void BM_CampaignMutationHeavy(benchmark::State& state) {
   opt.reuse_traces = gear >= 1;
   opt.batch_replay = gear >= 1;
   opt.reuse_scratch = gear >= 2;
+  if (gear >= 3) opt.backend = mon::Backend::Vm;
   CampaignTally tally;
   for (auto _ : state) {
     support::AllocCounter::Scope scope;
@@ -258,9 +304,15 @@ void BM_CampaignMutationHeavy(benchmark::State& state) {
   tally.report(state);
   state.SetLabel(gear == 0   ? "legacy"
                  : gear == 1 ? "reuse_traces+batch_replay"
-                             : "+scratch arenas");
+                 : gear == 2 ? "+scratch arenas"
+                             : "+vm backend");
 }
-BENCHMARK(BM_CampaignMutationHeavy)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
+BENCHMARK(BM_CampaignMutationHeavy)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->UseRealTime();
 
 void BM_CampaignIncremental(benchmark::State& state) {
   // Checkpointed, suffix-only mutant replay vs full replay on the

@@ -2,7 +2,7 @@
 // through the sharded campaign engine, serial first and then on a
 // work-stealing pool — same bits out, less wall-clock in.
 //
-//   $ ./examples/parallel_campaign [threads] [seeds] [auto|drct|viapsl]
+//   $ ./examples/parallel_campaign [threads] [seeds] [auto|drct|viapsl|vm]
 //                                  [--incremental=on|off]
 //                                  [--checkpoint-stride=N]
 #include <chrono>
@@ -19,7 +19,7 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: parallel_campaign [threads] [seeds] [auto|drct|viapsl]\n"
+    "usage: parallel_campaign [threads] [seeds] [auto|drct|viapsl|vm]\n"
     "                         [--incremental=on|off] [--checkpoint-stride=N]\n"
     "\n"
     "  threads              worker threads for the parallel run (default:\n"
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
   const std::size_t seeds = *seeds_arg;
   const auto backend = mon::parse_backend_arg(pos_argc, pos_argv, 3);
   if (!backend) {
-    return usage_error("bad backend '%s' (want auto, drct or viapsl)\n",
+    return usage_error("bad backend '%s' (want auto, drct, viapsl or vm)\n",
                        pos_argv[3]);
   }
 

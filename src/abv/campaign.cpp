@@ -7,6 +7,7 @@
 
 #include "mon/monitors.hpp"
 #include "mon/snapshot.hpp"
+#include "mon/vm.hpp"
 #include "psl/clause_monitor.hpp"
 #include "sim/scheduler.hpp"
 #include "support/thread_pool.hpp"
@@ -96,6 +97,11 @@ std::unique_ptr<mon::Monitor> stamp_monitor(const CampaignJob& job,
   if (compiled.chosen() == mon::Backend::ViaPSL) {
     return std::make_unique<psl::ClauseMonitor>(
         psl::encode(*job.property, compiled.max_clauses(), &ab));
+  }
+  if (compiled.chosen() == mon::Backend::Vm) {
+    // compile_vm is pure, so the re-lowered program is byte-identical to
+    // the compiled path's shared artifact.
+    return std::make_unique<mon::VmMonitor>(mon::compile_vm(*job.property));
   }
   return mon::make_monitor(*job.property);
 }
@@ -666,6 +672,8 @@ CampaignResult::diagnostic_counters() const {
       {"skip_ratio", ratio(skipped, skipped + stepped)},
       {"backend_viapsl",
        compile_stats.backend_chosen == mon::Backend::ViaPSL ? 1.0 : 0.0},
+      {"backend_vm",
+       compile_stats.backend_chosen == mon::Backend::Vm ? 1.0 : 0.0},
   };
 }
 

@@ -1,0 +1,254 @@
+#include "mon/bytecode.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "mon/stats.hpp"
+#include "mon/verdict.hpp"
+
+namespace loom::mon {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::RetireIfDone: return "retire.if";
+    case Op::Filter: return "filter";
+    case Op::DeadlineGuard: return "deadline.guard";
+    case Op::Dispatch: return "dispatch";
+    case Op::StepFragment: return "frag.step";
+    case Op::Advance: return "advance";
+    case Op::CompleteAntecedent: return "complete.ante";
+    case Op::CompleteTimed: return "complete.timed";
+    case Op::UpdateTiming: return "update.timing";
+    case Op::NoteProgress: return "note.progress";
+    case Op::LatchViolation: return "latch.violation";
+    case Op::Halt: return "halt";
+  }
+  return "?";
+}
+
+namespace {
+
+// Retirement masks: one bit per Verdict value.  An antecedent monitor
+// retires on Holds or Violated, a timed monitor only on Violated (it keeps
+// observing through Pending/Monitoring rounds forever).
+constexpr std::uint8_t bit(Verdict v) {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(v));
+}
+constexpr std::uint8_t kRetireAntecedent =
+    bit(Verdict::Holds) | bit(Verdict::Violated);
+constexpr std::uint8_t kRetireTimed = bit(Verdict::Violated);
+
+std::uint16_t intern_const(std::vector<RangeConst>& pool, RangeConst rc) {
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (pool[i] == rc) return static_cast<std::uint16_t>(i);
+  }
+  pool.push_back(rc);
+  return static_cast<std::uint16_t>(pool.size() - 1);
+}
+
+// The monitor's space accounting must match the Drct construction bit for
+// bit (results_identical compares space via the campaign reports): range =
+// 3 state bits + the counter width, fragment = 2 flags (+ a 64-bit
+// timestamp register when a timed monitor reads its min-complete instant),
+// chain = the active-fragment index, monitor = verdict (+ armed / q_done
+// for timed).
+std::size_t space_bits_of(const spec::OrderingPlan& plan, bool timed) {
+  std::size_t bits = bits_for_value(plan.fragments.size());
+  for (const auto& f : plan.fragments) {
+    bits += 2 + (f.track_min_time ? 64 : 0);
+    for (const auto& r : f.ranges) bits += 3 + bits_for_value(r.hi);
+  }
+  return bits + (timed ? 4 : 2);
+}
+
+}  // namespace
+
+std::shared_ptr<const VmProgram> compile_vm(
+    const spec::Property& property,
+    std::shared_ptr<const spec::OrderingPlan> plan) {
+  if (plan == nullptr) {
+    plan = std::make_shared<const spec::OrderingPlan>(
+        property.is_antecedent() ? spec::plan_antecedent(property.antecedent())
+                                 : spec::plan_timed(property.timed()));
+  }
+  auto prog = std::make_shared<VmProgram>();
+  VmProgram& p = *prog;
+  p.plan = plan;
+  p.timed = property.is_timed();
+  if (p.timed) {
+    p.bound = property.timed().bound;
+    p.p_last = static_cast<std::uint32_t>(plan->p_boundary - 1);
+  } else {
+    p.repeated = property.antecedent().repeated;
+  }
+  p.frag_count = static_cast<std::uint32_t>(plan->fragments.size());
+  p.q_last = p.frag_count - 1;
+  if (p.frag_count == 0 || p.frag_count > 255) {
+    throw std::logic_error("compile_vm: fragment count does not fit u8");
+  }
+
+  // --- flatten fragments and ranges, interning the bound constants -------
+  for (const auto& f : plan->fragments) {
+    p.frag_first.push_back(p.range_total);
+    p.frag_ranges.push_back(static_cast<std::uint32_t>(f.ranges.size()));
+    p.frag_conj.push_back(f.join == spec::Join::Conj ? 1 : 0);
+    p.frag_track_min_time.push_back(f.track_min_time ? 1 : 0);
+    for (const auto& r : f.ranges) {
+      p.range_name.push_back(r.name);
+      p.range_const.push_back(intern_const(
+          p.pool,
+          RangeConst{r.lo, r.hi, r.parent_join == spec::Join::Disj}));
+      ++p.range_total;
+    }
+  }
+  if (p.range_total > 0xFFFF) {
+    throw std::logic_error("compile_vm: range count does not fit u16");
+  }
+
+  // --- route tables --------------------------------------------------------
+  // One byte per (name, range) resolves the Fig. 5 input class in the Drct
+  // recognizers' lazy test order (n, then C, then Ac); one flag byte per
+  // (name, fragment) resolves the accept / in-alphabet tests; one byte per
+  // name is the whole-plan filter.  Names beyond the table (alphabets grow
+  // during campaigns) are handled by the Filter bounds check — exactly the
+  // out-of-capacity-is-false contract of support::Bitset.
+  p.table_names = static_cast<std::uint32_t>(plan->alphabet.capacity());
+  p.filter.resize(p.table_names);
+  p.route.resize(static_cast<std::size_t>(p.table_names) * p.range_total);
+  p.frag_flags.resize(static_cast<std::size_t>(p.table_names) * p.frag_count);
+  for (std::uint32_t name = 0; name < p.table_names; ++name) {
+    p.filter[name] = plan->alphabet.test(name) ? 1 : 0;
+    std::uint32_t flat = 0;
+    for (std::uint32_t f = 0; f < p.frag_count; ++f) {
+      const auto& fp = plan->fragments[f];
+      std::uint8_t flags = 0;
+      if (fp.accept.test(name)) flags |= kFlagAccept;
+      if (fp.alphabet.test(name)) flags |= kFlagAlphabet;
+      p.frag_flags[static_cast<std::size_t>(name) * p.frag_count + f] = flags;
+      for (const auto& r : fp.ranges) {
+        std::uint8_t cls = kClassOther;
+        if (name == r.name) {
+          cls = kClassN;
+        } else if (r.siblings.test(name)) {
+          cls = kClassC;
+        } else if (r.accept.test(name)) {
+          cls = kClassAc;
+        }
+        p.route[static_cast<std::size_t>(name) * p.range_total + flat] = cls;
+        ++flat;
+      }
+    }
+  }
+
+  // --- code ---------------------------------------------------------------
+  // Layout (F fragments; pcs are absolute):
+  //   prologue: retire.if, filter, [deadline.guard], dispatch
+  //   base+f:   frag.step f          (the dispatch targets)
+  //   adv_f:    advance f+1 -> none  (ok of every non-final fragment)
+  //   complete: complete.ante/timed  (ok of the final fragment)
+  //   none:     [update.timing] note.progress; halt
+  //   err:      latch.violation; halt
+  const std::uint16_t base = p.timed ? 4 : 3;
+  const std::uint16_t adv0 = static_cast<std::uint16_t>(base + p.frag_count);
+  const std::uint16_t complete =
+      static_cast<std::uint16_t>(adv0 + p.frag_count - 1);
+  const std::uint16_t none_pc = static_cast<std::uint16_t>(complete + 1);
+  const std::uint16_t err_pc =
+      static_cast<std::uint16_t>(none_pc + (p.timed ? 3 : 2));
+
+  p.code.push_back(
+      Insn{Op::RetireIfDone, p.timed ? kRetireTimed : kRetireAntecedent,
+           0, 0, 0});
+  p.code.push_back(Insn{Op::Filter, 0, 0, 0, 0});
+  if (p.timed) p.code.push_back(Insn{Op::DeadlineGuard, 0, 0, 0, 0});
+  p.code.push_back(Insn{Op::Dispatch, 0, 0, 0, 0});
+  for (std::uint32_t f = 0; f < p.frag_count; ++f) {
+    p.frag_entry.push_back(static_cast<std::uint16_t>(base + f));
+    const std::uint16_t ok =
+        f + 1 == p.frag_count ? complete
+                              : static_cast<std::uint16_t>(adv0 + f);
+    p.code.push_back(Insn{Op::StepFragment, static_cast<std::uint8_t>(f), ok,
+                          none_pc, err_pc});
+  }
+  for (std::uint32_t f = 0; f + 1 < p.frag_count; ++f) {
+    p.code.push_back(Insn{Op::Advance, static_cast<std::uint8_t>(f + 1),
+                          none_pc, 0, 0});
+  }
+  p.code.push_back(Insn{p.timed ? Op::CompleteTimed : Op::CompleteAntecedent,
+                        0, 0, 0, 0});
+  if (p.timed) p.code.push_back(Insn{Op::UpdateTiming, 0, 0, 0, 0});
+  p.code.push_back(Insn{Op::NoteProgress, 0, 0, 0, 0});
+  p.code.push_back(Insn{Op::Halt, 0, 0, 0, 0});
+  p.code.push_back(Insn{Op::LatchViolation, 0, 0, 0, 0});
+  p.code.push_back(Insn{Op::Halt, 0, 0, 0, 0});
+
+  p.space_bits = space_bits_of(*plan, p.timed);
+  return prog;
+}
+
+std::string disassemble(const VmProgram& p) {
+  std::string out;
+  char line[160];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof line, fmt, args...);
+    out += line;
+  };
+
+  if (p.timed) {
+    emit("vm timed bound=%s fragments=%u ranges=%u names=%u space=%zu\n",
+         p.bound.to_string().c_str(), p.frag_count, p.range_total,
+         p.table_names, p.space_bits);
+  } else {
+    emit("vm antecedent repeated=%u fragments=%u ranges=%u names=%u "
+         "space=%zu\n",
+         p.repeated ? 1u : 0u, p.frag_count, p.range_total, p.table_names,
+         p.space_bits);
+  }
+  out += "pool:\n";
+  for (std::size_t k = 0; k < p.pool.size(); ++k) {
+    emit("  k%zu: [%u,%u] %s\n", k, p.pool[k].lo, p.pool[k].hi,
+         p.pool[k].disj_parent ? "disj" : "conj");
+  }
+  out += "frags:\n";
+  for (std::uint32_t f = 0; f < p.frag_count; ++f) {
+    emit("  f%u: r%u..r%u %s%s\n", f, p.frag_first[f],
+         p.frag_first[f] + p.frag_ranges[f] - 1,
+         p.frag_conj[f] ? "conj" : "disj",
+         p.frag_track_min_time[f] ? " min-time" : "");
+  }
+  out += "ranges:\n";
+  for (std::uint32_t r = 0; r < p.range_total; ++r) {
+    emit("  r%u: n=#%u k%u\n", r, static_cast<unsigned>(p.range_name[r]),
+         static_cast<unsigned>(p.range_const[r]));
+  }
+  out += "code:\n";
+  for (std::size_t pc = 0; pc < p.code.size(); ++pc) {
+    const Insn& in = p.code[pc];
+    switch (in.op) {
+      case Op::RetireIfDone: {
+        std::string mask;
+        for (int v = 0; v < 4; ++v) {
+          if ((in.a >> v) & 1) {
+            if (!mask.empty()) mask += '|';
+            mask += to_string(static_cast<Verdict>(v));
+          }
+        }
+        emit("  %2zu: %-15s %s\n", pc, to_string(in.op), mask.c_str());
+        break;
+      }
+      case Op::StepFragment:
+        emit("  %2zu: %-15s f%u ok->%u none->%u err->%u\n", pc,
+             to_string(in.op), in.a, in.b, in.c, in.d);
+        break;
+      case Op::Advance:
+        emit("  %2zu: %-15s f%u ->%u\n", pc, to_string(in.op), in.a, in.b);
+        break;
+      default:
+        emit("  %2zu: %s\n", pc, to_string(in.op));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace loom::mon

@@ -4,6 +4,7 @@
 
 #include "mon/antecedent_monitor.hpp"
 #include "mon/timed_monitor.hpp"
+#include "mon/vm.hpp"
 #include "psl/clause_monitor.hpp"
 
 namespace loom::mon {
@@ -13,6 +14,7 @@ const char* to_string(Backend b) {
     case Backend::Auto: return "auto";
     case Backend::Drct: return "drct";
     case Backend::ViaPSL: return "viapsl";
+    case Backend::Vm: return "vm";
   }
   return "?";
 }
@@ -21,6 +23,7 @@ std::optional<Backend> parse_backend(std::string_view text) {
   if (text == "auto") return Backend::Auto;
   if (text == "drct") return Backend::Drct;
   if (text == "viapsl") return Backend::ViaPSL;
+  if (text == "vm") return Backend::Vm;
   return std::nullopt;
 }
 
@@ -77,6 +80,9 @@ CompiledProperty CompiledProperty::compile(const spec::Property& property,
       // Let psl::encode below report the precise reason (shape / budget).
       c.chosen_ = Backend::ViaPSL;
       break;
+    case Backend::Vm:
+      c.chosen_ = Backend::Vm;
+      break;
     case Backend::Auto: {
       // Per-event work of each construction, from the analytic model alone:
       // nothing is materialized to make this choice.  Ties go to Drct.
@@ -92,6 +98,12 @@ CompiledProperty CompiledProperty::compile(const spec::Property& property,
   if (c.chosen_ == Backend::ViaPSL || options.with_viapsl_artifact) {
     c.encoding_ = std::make_shared<const psl::Encoding>(
         psl::encode(property, options.max_clauses, &ab));
+  }
+  if (c.chosen_ == Backend::Vm) {
+    // compile_vm is pure over (property, plan), so this artifact is byte-
+    // identical to the one the legacy per-unit path rebuilds
+    // (compiled_plan_diff_test's compiled≡per-unit invariant).
+    c.vm_program_ = compile_vm(property, c.plan_);
   }
   return c;
 }
@@ -178,6 +190,13 @@ std::unique_ptr<Monitor> CompiledProperty::instantiate(Backend backend) const {
             "CompileOptions::with_viapsl_artifact or backend=ViaPSL)");
       }
       return std::make_unique<psl::ClauseMonitor>(encoding_);
+    case Backend::Vm:
+      if (vm_program_ == nullptr) {
+        throw std::logic_error(
+            "the VM program was not compiled for this property (compile "
+            "with backend=Vm)");
+      }
+      return std::make_unique<VmMonitor>(vm_program_);
     case Backend::Auto:
       break;
   }

@@ -49,16 +49,20 @@
 
 namespace loom::mon {
 
+struct VmProgram;  // mon/bytecode.hpp
+
 /// Which monitor construction executes a property.
 enum class Backend : std::uint8_t {
   Auto,    // pick per property via psl::cost_model
   Drct,    // the paper's direct monitors (§6)
   ViaPSL,  // the PSL clause network of [14] (§5)
+  Vm,      // the Drct plan compiled to bytecode (mon/bytecode.hpp)
 };
 
 const char* to_string(Backend b);
 
-/// Parses "auto" / "drct" / "viapsl" (case-sensitive, the CLI spelling).
+/// Parses "auto" / "drct" / "viapsl" / "vm" (case-sensitive, the CLI
+/// spelling).
 std::optional<Backend> parse_backend(std::string_view text);
 
 /// Positional-argv form for the bench/example mains (the sibling of
@@ -108,8 +112,17 @@ class CompiledProperty {
   const spec::NameSet& alphabet() const { return alphabet_; }
   const std::string& text_of(spec::Name name) const;
 
+  /// The compiled bytecode program; nullptr unless chosen()==Vm.
+  const VmProgram* vm_program() const { return vm_program_.get(); }
+
   /// Analytic per-event operation estimates that drive the Auto choice.
   std::uint64_t drct_ops_per_event() const { return drct_ops_; }
+  /// The VM executes the Drct plan's exact abstract op schedule (that is
+  /// its bit-identity contract), so its analytic per-event cost equals the
+  /// Drct estimate — which is why Auto, whose ties go to Drct, never
+  /// resolves to Vm on its own: the VM is an explicit opt-in, not a cost
+  /// winner under the paper's Figure-6 operation count.
+  std::uint64_t vm_ops_per_event() const { return drct_ops_; }
   const psl::PslCost& viapsl_cost() const { return viapsl_cost_; }
   /// False when the ViaPSL construction cannot be materialized (shape or
   /// clause budget); Auto then resolves to Drct unconditionally.
@@ -131,6 +144,7 @@ class CompiledProperty {
   std::shared_ptr<const spec::Property> property_;
   std::shared_ptr<const spec::OrderingPlan> plan_;
   std::shared_ptr<const psl::Encoding> encoding_;
+  std::shared_ptr<const VmProgram> vm_program_;
   spec::NameSet alphabet_;
   support::Interner names_;                 // dense snapshot of the texts
   std::vector<std::uint32_t> local_of_name_;  // alphabet id -> snapshot id

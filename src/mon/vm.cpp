@@ -1,0 +1,699 @@
+#include "mon/vm.hpp"
+
+#include <stdexcept>
+
+#include "mon/snapshot.hpp"
+#include "support/diagnostics.hpp"
+
+// Any step that latches an error formats a reason string — keep that code
+// out of line so the hot automaton stays small enough to inline.
+#if defined(__GNUC__) || defined(__clang__)
+#define LOOM_VM_COLD __attribute__((noinline, cold))
+#else
+#define LOOM_VM_COLD
+#endif
+
+namespace loom::mon {
+namespace {
+
+// Format tag (see antecedent_monitor.cpp): kind-checks restore().
+constexpr std::uint64_t kSnapshotTag = 0x564D4652;  // "VMFR"
+
+// The range automaton's states — values match RangeRecognizer::State so a
+// frame dump reads the same as a recognizer dump.
+enum class RS : std::uint8_t {
+  Idle,
+  WaitFirst,
+  WaitFirstSibling,
+  Counting,
+  DoneSibling,
+  Error,
+};
+
+enum class RangeOut : std::uint8_t { None, Ok, Nok, Err };
+enum class FragOut : std::uint8_t { None, Ok, Err };
+
+// The Figure-6 operation count accumulates in a register (`ops`) for the
+// duration of one entry point and flushes into MonitorStats once at the
+// end — the totals are exactly the per-call add() sequence the Drct
+// monitors execute, without a memory round-trip per charge.
+
+void vm_violate(const VmFrameRef& f, std::uint64_t ordinal, sim::Time time,
+                spec::Name name, std::string reason) {
+  *f.verdict = Verdict::Violated;
+  *f.violation = Violation{static_cast<std::size_t>(ordinal), time, name,
+                           std::move(reason)};
+}
+
+// --- the range automaton (RangeRecognizer::step, compiled) ----------------
+// The route byte replaces the lazy is_n / in_c / in_ac membership tests,
+// but the Figure-6 accounting must not notice: every charge below equals
+// the number of tests the Drct recognizer would have evaluated for this
+// (state, class) cell plus its assignment/comparison charges, and the
+// reason strings are formatted identically.
+
+LOOM_VM_COLD RangeOut range_fail(const VmFrameRef& f, std::uint64_t& ops,
+                                 std::uint32_t r, std::string reason) {
+  ++ops;
+  f.range_state[r] = static_cast<std::uint8_t>(RS::Error);
+  f.range_reason[r] = std::move(reason);
+  return RangeOut::Err;
+}
+
+LOOM_VM_COLD RangeOut fail_outside(const VmFrameRef& f, std::uint64_t& ops,
+                                   std::uint32_t r) {
+  return range_fail(f, ops, r,
+                    "name from outside the active fragment (B or Af)");
+}
+
+LOOM_VM_COLD RangeOut fail_never_started(const VmFrameRef& f,
+                                         std::uint64_t& ops,
+                                         std::uint32_t r) {
+  return range_fail(f, ops, r,
+                    "fragment stopped before any of its ranges started");
+}
+
+LOOM_VM_COLD RangeOut fail_conj_unobserved(const VmFrameRef& f,
+                                           std::uint64_t& ops,
+                                           std::uint32_t r) {
+  return range_fail(f, ops, r,
+                    "conjunctive fragment stopped before one of its "
+                    "ranges was observed");
+}
+
+LOOM_VM_COLD RangeOut fail_over_hi(const VmFrameRef& f, std::uint64_t& ops,
+                                   std::uint32_t r, std::uint32_t hi) {
+  return range_fail(f, ops, r,
+                    "more than v=" + std::to_string(hi) +
+                        " consecutive occurrences");
+}
+
+LOOM_VM_COLD RangeOut fail_block_below_lo(const VmFrameRef& f,
+                                          std::uint64_t& ops,
+                                          std::uint32_t r, std::uint32_t cpt,
+                                          std::uint32_t lo) {
+  return range_fail(f, ops, r,
+                    "block ended after " + std::to_string(cpt) +
+                        " occurrences, below u=" + std::to_string(lo));
+}
+
+LOOM_VM_COLD RangeOut fail_stop_below_lo(const VmFrameRef& f,
+                                         std::uint64_t& ops, std::uint32_t r,
+                                         std::uint32_t cpt,
+                                         std::uint32_t lo) {
+  return range_fail(f, ops, r,
+                    "fragment stopped after " + std::to_string(cpt) +
+                        " occurrences, below u=" + std::to_string(lo));
+}
+
+LOOM_VM_COLD RangeOut fail_reopened(const VmFrameRef& f, std::uint64_t& ops,
+                                    std::uint32_t r) {
+  return range_fail(f, ops, r, "range block reopened after it ended");
+}
+
+RangeOut range_step(const VmProgram& p, const VmFrameRef& f,
+                    std::uint64_t& ops, std::uint32_t r, std::uint8_t cls) {
+  switch (static_cast<RS>(f.range_state[r])) {
+    case RS::Idle:
+      return RangeOut::None;  // not started; no events routed here
+
+    case RS::WaitFirst:  // s1
+      switch (cls) {
+        case kClassN:
+          ops += 3;  // is_n + state + counter assignment
+          f.range_state[r] = static_cast<std::uint8_t>(RS::Counting);
+          f.range_cpt[r] = 1;
+          return RangeOut::None;
+        case kClassC:
+          ops += 3;  // is_n + in_c + state assignment
+          f.range_state[r] = static_cast<std::uint8_t>(RS::WaitFirstSibling);
+          return RangeOut::None;
+        case kClassAc:
+          ops += 3;  // is_n + in_c + in_ac
+          return fail_never_started(f, ops, r);
+        default:
+          ops += 3;
+          return fail_outside(f, ops, r);
+      }
+
+    case RS::WaitFirstSibling:  // s2
+      switch (cls) {
+        case kClassN:
+          ops += 3;
+          f.range_state[r] = static_cast<std::uint8_t>(RS::Counting);
+          f.range_cpt[r] = 1;
+          return RangeOut::None;
+        case kClassC:
+          ops += 2;
+          return RangeOut::None;
+        case kClassAc:
+          ops += 4;  // the three tests + the join test
+          if (p.consts_of(r).disj_parent) {
+            ++ops;
+            f.range_state[r] = static_cast<std::uint8_t>(RS::Idle);
+            return RangeOut::Nok;
+          }
+          return fail_conj_unobserved(f, ops, r);
+        default:
+          ops += 3;
+          return fail_outside(f, ops, r);
+      }
+
+    case RS::Counting:  // s3
+      switch (cls) {
+        case kClassN:
+          ops += 2;  // is_n + bound comparison
+          if (f.range_cpt[r] == p.consts_of(r).hi) {
+            return fail_over_hi(f, ops, r, p.consts_of(r).hi);
+          }
+          ++ops;
+          ++f.range_cpt[r];
+          return RangeOut::None;
+        case kClassC:
+          ops += 3;  // is_n + in_c + lower-bound comparison
+          if (f.range_cpt[r] >= p.consts_of(r).lo) {
+            ++ops;
+            f.range_state[r] = static_cast<std::uint8_t>(RS::DoneSibling);
+            return RangeOut::None;
+          }
+          return fail_block_below_lo(f, ops, r, f.range_cpt[r],
+                                     p.consts_of(r).lo);
+        case kClassAc:
+          ops += 4;
+          if (f.range_cpt[r] >= p.consts_of(r).lo) {
+            ++ops;
+            f.range_state[r] = static_cast<std::uint8_t>(RS::Idle);
+            return RangeOut::Ok;
+          }
+          return fail_stop_below_lo(f, ops, r, f.range_cpt[r],
+                                    p.consts_of(r).lo);
+        default:
+          ops += 3;
+          return fail_outside(f, ops, r);
+      }
+
+    case RS::DoneSibling:  // s4
+      switch (cls) {
+        case kClassN:
+          ++ops;
+          return fail_reopened(f, ops, r);
+        case kClassC:
+          ops += 2;
+          return RangeOut::None;
+        case kClassAc:
+          ops += 4;
+          f.range_state[r] = static_cast<std::uint8_t>(RS::Idle);
+          return RangeOut::Ok;
+        default:
+          ops += 3;
+          return fail_outside(f, ops, r);
+      }
+
+    case RS::Error:  // s5, absorbing (the stored reason persists)
+      return RangeOut::Err;
+  }
+  return RangeOut::None;
+}
+
+// --- fragment stepping (FragmentRecognizer::step, compiled) ---------------
+
+void start_fragment(const VmProgram& p, const VmFrameRef& f,
+                    std::uint64_t& ops, std::uint32_t frag) {
+  const std::uint32_t first = p.frag_first[frag];
+  const std::uint32_t count = p.frag_ranges[frag];
+  for (std::uint32_t r = first; r < first + count; ++r) {
+    ++ops;  // state assignment (RangeRecognizer::start)
+    f.range_state[r] = static_cast<std::uint8_t>(RS::WaitFirst);
+    f.range_cpt[r] = 0;
+  }
+  f.frag_min_complete[frag] = 0;
+  f.frag_in_progress[frag] = 0;
+}
+
+bool min_reached(const VmProgram& p, const VmFrameRef& f, std::uint32_t r) {
+  const RS s = static_cast<RS>(f.range_state[r]);
+  return (s == RS::Counting && f.range_cpt[r] >= p.consts_of(r).lo) ||
+         s == RS::DoneSibling;
+}
+
+FragOut fragment_step(const VmProgram& p, const VmFrameRef& f,
+                      std::uint64_t& ops, std::uint32_t frag,
+                      spec::Name name, sim::Time time,
+                      std::uint32_t* err_range) {
+  const std::uint32_t first = p.frag_first[frag];
+  const std::uint32_t count = p.frag_ranges[frag];
+  const std::uint8_t* route =
+      p.route.data() + static_cast<std::size_t>(name) * p.range_total;
+  // Synchronous parallel composition: every child sees the event; the
+  // first child error aborts the sweep (the remaining children are not
+  // stepped), exactly like the recognizer's loop.
+  for (std::uint32_t r = first; r < first + count; ++r) {
+    if (range_step(p, f, ops, r, route[r]) == RangeOut::Err) {
+      *err_range = r;
+      return FragOut::Err;
+    }
+  }
+  ++ops;  // accept-set test for the aggregate decision
+  const std::uint8_t flags =
+      p.frag_flags[static_cast<std::size_t>(name) * p.frag_count + frag];
+  if (flags & kFlagAccept) return FragOut::Ok;
+  ++ops;  // in-fragment test
+  if (flags & kFlagAlphabet) {
+    f.frag_in_progress[frag] = 1;
+    if (!f.frag_min_complete[frag]) {
+      ops += count;  // one bound check per child
+      bool done;
+      if (p.frag_conj[frag]) {
+        done = true;
+        for (std::uint32_t r = first; r < first + count; ++r) {
+          if (!min_reached(p, f, r)) {
+            done = false;
+            break;
+          }
+        }
+      } else {
+        done = false;
+        for (std::uint32_t r = first; r < first + count; ++r) {
+          if (min_reached(p, f, r)) {
+            done = true;
+            break;
+          }
+        }
+      }
+      if (done) {
+        ++ops;
+        f.frag_min_complete[frag] = 1;
+        f.frag_min_time[frag] = time;
+      }
+    }
+  }
+  return FragOut::None;
+}
+
+// --- chain helpers (OrderingRecognizer, compiled) -------------------------
+
+void restart_chain(const VmProgram& p, const VmFrameRef& f,
+                   std::uint64_t& ops) {
+  for (std::uint32_t r = 0; r < p.range_total; ++r) {
+    f.range_state[r] = static_cast<std::uint8_t>(RS::Idle);
+    f.range_cpt[r] = 0;
+    f.range_reason[r].clear();
+  }
+  for (std::uint32_t frag = 0; frag < p.frag_count; ++frag) {
+    f.frag_min_complete[frag] = 0;
+    f.frag_in_progress[frag] = 0;
+  }
+  *f.active = 0;
+  start_fragment(p, f, ops, 0);
+}
+
+// OrderingRecognizer::step with the result discarded: only used for the
+// re-step of the completing event after a timed chain's reset point, where
+// the Drct monitor also ignores the outcome but keeps the side effects.
+void chain_step_discarded(const VmProgram& p, const VmFrameRef& f,
+                          std::uint64_t& ops, spec::Name name,
+                          sim::Time time) {
+  std::uint32_t err_range = 0;
+  ++ops;  // active-fragment dispatch
+  switch (fragment_step(p, f, ops, *f.active, name, time, &err_range)) {
+    case FragOut::None:
+    case FragOut::Err:
+      return;
+    case FragOut::Ok:
+      break;
+  }
+  if (*f.active + 1 == p.frag_count) return;  // completed again; discarded
+  ++*f.active;
+  ++ops;
+  start_fragment(p, f, ops, *f.active);
+  (void)fragment_step(p, f, ops, *f.active, name, time, &err_range);
+}
+
+// --- timed bookkeeping (TimedImplicationMonitor::update_timing) -----------
+
+LOOM_VM_COLD void violate_deadline(const VmFrameRef& f, std::uint64_t ordinal,
+                                   spec::Name name, sim::Time took,
+                                   sim::Time bound) {
+  vm_violate(f, ordinal, *f.t_stop, name,
+             "consequent finished after the deadline (took " +
+                 took.to_string() + ", bound " + bound.to_string() + ")");
+}
+
+void update_timing(const VmProgram& p, const VmFrameRef& f,
+                   std::uint64_t& ops, sim::Time now, std::uint64_t ordinal,
+                   spec::Name name) {
+  const std::uint32_t p_last = p.p_last;
+  const std::uint32_t q_last = p.q_last;
+  const std::uint32_t active = *f.active;
+  ops += 2;  // the two stage comparisons below
+  if (!*f.armed &&
+      (active > p_last ||
+       (active == p_last && f.frag_min_complete[p_last]))) {
+    *f.armed = 1;
+    *f.t_start = active == p_last ? f.frag_min_time[p_last] : now;
+    ops += 2;
+  }
+  if (*f.armed && !*f.q_done && active == q_last &&
+      f.frag_min_complete[q_last]) {
+    *f.q_done = 1;
+    *f.t_stop = f.frag_min_time[q_last];
+    ops += 3;  // flag + assignment + deadline comparison
+    if (*f.t_stop - *f.t_start > p.bound) {
+      violate_deadline(f, ordinal, name, *f.t_stop - *f.t_start, p.bound);
+    }
+  }
+}
+
+// The dispatch loop proper, shared by the single-event and batched entry
+// points: executes one event from pc 0 and returns the event's Figure-6
+// spend (the callers own the events/ops/max-ops bookkeeping).
+std::uint64_t step_event_core(const VmProgram& p, const VmFrameRef& f,
+                              const Insn* const code, spec::Name name,
+                              sim::Time time) {
+  std::uint64_t ops = 0;
+  const std::uint64_t ordinal = (*f.ordinal)++;
+  std::uint32_t err_range = 0;
+  std::uint16_t pc = 0;
+  for (;;) {
+    const Insn in = code[pc];
+    switch (in.op) {
+      case Op::RetireIfDone:
+        if ((in.a >> static_cast<unsigned>(*f.verdict)) & 1) return ops;
+        ++pc;
+        break;
+      case Op::Filter:
+        ++ops;  // alphabet filter
+        if (name >= p.table_names || !p.filter[name]) return ops;
+        ++pc;
+        break;
+      case Op::DeadlineGuard:
+        ++ops;  // deadline pre-check
+        if (*f.armed && !*f.q_done && time > *f.t_start + p.bound) {
+          vm_violate(f, ordinal, time, name,
+                     "deadline elapsed before the consequent finished");
+          return ops;
+        }
+        ++pc;
+        break;
+      case Op::Dispatch:
+        ++ops;  // active-fragment dispatch
+        pc = p.frag_entry[*f.active];
+        break;
+      case Op::StepFragment:
+        switch (fragment_step(p, f, ops, in.a, name, time, &err_range)) {
+          case FragOut::Ok:
+            pc = in.b;
+            break;
+          case FragOut::None:
+            pc = in.c;
+            break;
+          case FragOut::Err:
+            pc = in.d;
+            break;
+        }
+        break;
+      case Op::Advance:
+        // The stopping name of the previous fragment is the first event of
+        // the new one; the nested step can neither complete nor fail.
+        *f.active = in.a;
+        ++ops;
+        start_fragment(p, f, ops, in.a);
+        (void)fragment_step(p, f, ops, in.a, name, time, &err_range);
+        pc = in.b;
+        break;
+      case Op::CompleteAntecedent:
+        ++*f.validated_or_rounds;
+        if (p.repeated) {
+          restart_chain(p, f, ops);
+          *f.verdict = Verdict::Monitoring;
+        } else {
+          *f.verdict = Verdict::Holds;
+        }
+        return ops;
+      case Op::CompleteTimed:
+        // The reset point: the completing event restarts the chain at F1.
+        ++*f.validated_or_rounds;
+        *f.armed = 0;
+        *f.q_done = 0;
+        restart_chain(p, f, ops);
+        chain_step_discarded(p, f, ops, name, time);
+        update_timing(p, f, ops, time, ordinal, name);
+        if (*f.verdict != Verdict::Violated) *f.verdict = Verdict::Pending;
+        return ops;
+      case Op::UpdateTiming:
+        update_timing(p, f, ops, time, ordinal, name);
+        ++pc;
+        break;
+      case Op::NoteProgress:
+        if (*f.verdict != Verdict::Violated) {
+          *f.verdict = (*f.active > 0 || f.frag_in_progress[0])
+                           ? Verdict::Pending
+                           : Verdict::Monitoring;
+        }
+        ++pc;
+        break;
+      case Op::LatchViolation:
+        // Copy (not move) the erring range's reason: the range keeps it,
+        // exactly like the recognizer keeps error_reason().
+        vm_violate(f, ordinal, time, name, f.range_reason[err_range]);
+        ++pc;
+        break;
+      case Op::Halt:
+        return ops;
+    }
+  }
+}
+
+}  // namespace
+
+// --- interpreter entry points ---------------------------------------------
+
+void vm_init(const VmProgram& p, const VmFrameRef& f) {
+  // Fresh-construction state: the chain activates, charging one op per
+  // range of fragment 0 (RangeRecognizer::start), just like the Drct
+  // monitor constructors.
+  *f.active = 0;
+  std::uint64_t ops = 0;
+  start_fragment(p, f, ops, 0);
+  f.stats->add(ops);
+}
+
+void vm_reset(const VmProgram& p, const VmFrameRef& f) {
+  // Stats first: restart re-runs the activation ops a fresh monitor
+  // carries; clearing afterwards would lose them (mon_reset_reuse_test).
+  f.stats->reset();
+  std::uint64_t ops = 0;
+  restart_chain(p, f, ops);
+  f.stats->add(ops);
+  *f.verdict = Verdict::Monitoring;
+  f.violation->reset();
+  *f.armed = 0;
+  *f.q_done = 0;
+  *f.validated_or_rounds = 0;
+  *f.ordinal = 0;
+}
+
+void vm_step_event(const VmProgram& p, const VmFrameRef& f, spec::Name name,
+                   sim::Time time) {
+  MonitorStats& st = *f.stats;
+  ++st.events;  // begin_event(); the core returns this event's exact spend
+  const std::uint64_t ops = step_event_core(p, f, p.code.data(), name, time);
+  st.ops += ops;  // end_event(): flush the register-held spend
+  if (ops > st.max_ops_per_event) st.max_ops_per_event = ops;
+}
+
+void vm_run_batch(const VmProgram& p, const VmFrameRef& f,
+                  const spec::TimedEvent* begin, const spec::TimedEvent* end) {
+  // Same per-event schedule as vm_step_event in a loop — the events/ops/
+  // max-ops totals land identically, they just flush once per slice.
+  MonitorStats& st = *f.stats;
+  const Insn* const code = p.code.data();
+  std::uint64_t total = 0;
+  std::uint64_t max_ops = st.max_ops_per_event;
+  for (const auto* ev = begin; ev != end; ++ev) {
+    const std::uint64_t ops = step_event_core(p, f, code, ev->name, ev->time);
+    total += ops;
+    if (ops > max_ops) max_ops = ops;
+  }
+  st.events += static_cast<std::uint64_t>(end - begin);
+  st.ops += total;
+  st.max_ops_per_event = max_ops;
+}
+
+void vm_finish(const VmProgram& p, const VmFrameRef& f, sim::Time end_time) {
+  if (!p.timed) return;  // pure safety: nothing to check at the end
+  if (*f.verdict == Verdict::Violated) return;
+  if (*f.armed && !*f.q_done && end_time > *f.t_start + p.bound) {
+    vm_violate(f, *f.ordinal, end_time, spec::kInvalidName,
+               "observation ended after the deadline with the consequent "
+               "unfinished");
+    return;
+  }
+  // Earliest-match: a round whose consequent reached its minimum within
+  // the deadline has met its obligation even if the final block is open.
+  if (*f.q_done) *f.verdict = Verdict::Monitoring;
+}
+
+void vm_poll(const VmProgram& p, const VmFrameRef& f, sim::Time now) {
+  if (!p.timed) return;
+  if (*f.verdict == Verdict::Violated) return;
+  if (*f.armed && !*f.q_done && now > *f.t_start + p.bound) {
+    vm_violate(f, *f.ordinal, now, spec::kInvalidName,
+               "deadline elapsed before the consequent finished (watchdog)");
+  }
+}
+
+// --- VmMonitor ------------------------------------------------------------
+
+VmMonitor::VmMonitor(std::shared_ptr<const VmProgram> program)
+    : program_(std::move(program)),
+      range_state_(program_->range_total,
+                   static_cast<std::uint8_t>(RS::Idle)),
+      range_cpt_(program_->range_total, 0),
+      range_reason_(program_->range_total),
+      frag_min_complete_(program_->frag_count, 0),
+      frag_in_progress_(program_->frag_count, 0),
+      frag_min_time_(program_->frag_count),
+      frame_(make_ref()) {
+  vm_init(*program_, frame_);
+}
+
+VmFrameRef VmMonitor::make_ref() {
+  return VmFrameRef{range_state_.data(), range_cpt_.data(),
+                    range_reason_.data(), frag_min_complete_.data(),
+                    frag_in_progress_.data(), frag_min_time_.data(),
+                    &active_, &verdict_, &violation_, &stats_,
+                    &armed_, &q_done_, &t_start_, &t_stop_,
+                    &validated_or_rounds_, &ordinal_};
+}
+
+std::optional<sim::Time> VmMonitor::deadline() const {
+  if (program_->timed && armed_ && !q_done_) {
+    return t_start_ + program_->bound;
+  }
+  return std::nullopt;
+}
+
+void VmMonitor::snapshot(Snapshot& out) const {
+  out.clear();
+  out.put_u64(kSnapshotTag);
+  // Shape guard: a snapshot only restores into an instance of the same
+  // program shape (cf. ClauseMonitor's clause-count check).
+  out.put_u64(program_->range_total);
+  out.put_u64(program_->frag_count);
+  stats_.snapshot(out);
+  out.put_u64(active_);
+  for (std::uint32_t r = 0; r < program_->range_total; ++r) {
+    out.put_u64(range_state_[r]);
+    out.put_u64(range_cpt_[r]);
+    out.put_string(range_reason_[r]);
+  }
+  for (std::uint32_t frag = 0; frag < program_->frag_count; ++frag) {
+    out.put_bool(frag_min_complete_[frag] != 0);
+    out.put_bool(frag_in_progress_[frag] != 0);
+    out.put_time(frag_min_time_[frag]);
+  }
+  out.put_u64(static_cast<std::uint64_t>(verdict_));
+  snapshot_violation(out, violation_);
+  out.put_bool(armed_ != 0);
+  out.put_bool(q_done_ != 0);
+  out.put_time(t_start_);
+  out.put_time(t_stop_);
+  out.put_u64(validated_or_rounds_);
+  out.put_u64(ordinal_);
+}
+
+void VmMonitor::restore(const Snapshot& in) {
+  SnapshotReader r(in);
+  if (r.u64() != kSnapshotTag) {
+    throw std::logic_error(
+        "VmMonitor::restore: snapshot of a different monitor kind");
+  }
+  if (r.u64() != program_->range_total || r.u64() != program_->frag_count) {
+    throw std::logic_error(
+        "VmMonitor::restore: snapshot of a different program shape");
+  }
+  stats_.restore(r);
+  active_ = static_cast<std::uint32_t>(r.u64());
+  for (std::uint32_t i = 0; i < program_->range_total; ++i) {
+    range_state_[i] = static_cast<std::uint8_t>(r.u64());
+    range_cpt_[i] = static_cast<std::uint32_t>(r.u64());
+    r.string_into(range_reason_[i]);
+  }
+  for (std::uint32_t frag = 0; frag < program_->frag_count; ++frag) {
+    frag_min_complete_[frag] = r.boolean() ? 1 : 0;
+    frag_in_progress_[frag] = r.boolean() ? 1 : 0;
+    frag_min_time_[frag] = r.time();
+  }
+  verdict_ = static_cast<Verdict>(r.u64());
+  restore_violation(r, violation_);
+  armed_ = r.boolean() ? 1 : 0;
+  q_done_ = r.boolean() ? 1 : 0;
+  t_start_ = r.time();
+  t_stop_ = r.time();
+  validated_or_rounds_ = r.u64();
+  ordinal_ = r.u64();
+  LOOM_DASSERT(r.exhausted());  // format drift: snapshot wrote more fields
+}
+
+// --- VmLaneBatch ----------------------------------------------------------
+
+VmLaneBatch::VmLaneBatch(std::shared_ptr<const VmProgram> program,
+                         std::size_t lanes)
+    : program_(std::move(program)),
+      lanes_(lanes),
+      range_state_(lanes * program_->range_total,
+                   static_cast<std::uint8_t>(RS::Idle)),
+      range_cpt_(lanes * program_->range_total, 0),
+      range_reason_(lanes * program_->range_total),
+      frag_min_complete_(lanes * program_->frag_count, 0),
+      frag_in_progress_(lanes * program_->frag_count, 0),
+      frag_min_time_(lanes * program_->frag_count),
+      active_(lanes, 0),
+      verdict_(lanes, Verdict::Monitoring),
+      violation_(lanes),
+      stats_(lanes),
+      armed_(lanes, 0),
+      q_done_(lanes, 0),
+      t_start_(lanes),
+      t_stop_(lanes),
+      validated_or_rounds_(lanes, 0),
+      ordinal_(lanes, 0) {
+  frames_.reserve(lanes_);
+  for (std::size_t lane = 0; lane < lanes_; ++lane) {
+    frames_.push_back(make_ref(lane));
+    vm_init(*program_, frames_[lane]);
+  }
+}
+
+VmFrameRef VmLaneBatch::make_ref(std::size_t lane) {
+  return VmFrameRef{
+      range_state_.data() + lane * program_->range_total,
+      range_cpt_.data() + lane * program_->range_total,
+      range_reason_.data() + lane * program_->range_total,
+      frag_min_complete_.data() + lane * program_->frag_count,
+      frag_in_progress_.data() + lane * program_->frag_count,
+      frag_min_time_.data() + lane * program_->frag_count,
+      &active_[lane], &verdict_[lane], &violation_[lane], &stats_[lane],
+      &armed_[lane], &q_done_[lane], &t_start_[lane], &t_stop_[lane],
+      &validated_or_rounds_[lane], &ordinal_[lane]};
+}
+
+void VmLaneBatch::run(const std::vector<const spec::Trace*>& traces) {
+  LOOM_DASSERT(traces.size() == lanes_);
+  std::size_t longest = 0;
+  for (const auto* t : traces) {
+    if (t->size() > longest) longest = t->size();
+  }
+  const VmFrameRef* const frames = frames_.data();
+  for (std::size_t e = 0; e < longest; ++e) {
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      const spec::Trace& t = *traces[lane];
+      if (e < t.size()) {
+        vm_step_event(*program_, frames[lane], t[e].name, t[e].time);
+      }
+    }
+  }
+}
+
+}  // namespace loom::mon

@@ -30,6 +30,23 @@ TEST_P(CampaignPasses, FullLoopIsHealthy) {
   EXPECT_DOUBLE_EQ(r.alphabet_coverage, 1.0);
 }
 
+TEST_P(CampaignPasses, FullLoopIsHealthyUnderTheVmBackend) {
+  spec::Alphabet ab;
+  auto p = loom::testing::parse(GetParam(), ab);
+  CampaignOptions opt;
+  opt.seeds = 6;
+  opt.stimuli.rounds = 3;
+  opt.stimuli.noise_permille = 100;
+  opt.mutants_per_kind = 8;
+  opt.backend = mon::Backend::Vm;
+  const CampaignResult r = run_campaign(p, ab, opt);
+  EXPECT_TRUE(r.ok()) << r.report(ab);
+  EXPECT_EQ(r.traces, 6u);
+  EXPECT_EQ(r.valid_accepted, r.traces);
+  EXPECT_EQ(r.oracle_disagreements, 0u);
+  EXPECT_EQ(r.compile_stats.backend_chosen, mon::Backend::Vm);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Properties, CampaignPasses,
     ::testing::Values("(n << i, true)",                               //
@@ -94,9 +111,56 @@ TEST(Campaign, DiagnosticCountersAreFiniteAndGuarded) {
           static_cast<double>(r.events_skipped + r.monitor_stats.events));
   EXPECT_EQ(value("plan_cache_hit_rate"), 0.0);  // no plan cache configured
   EXPECT_EQ(value("backend_viapsl"), 0.0);       // cost model picks Drct
+  EXPECT_EQ(value("backend_vm"), 0.0);           // Vm is never an Auto choice
   for (const auto& c : r.diagnostic_counters()) {
     EXPECT_TRUE(std::isfinite(c.value)) << c.name;
   }
+}
+
+TEST(Campaign, VmBackendRunsAndReportsItsCounter) {
+  // Forcing Backend::Vm must leave the campaign semantics untouched (same
+  // verdicts/kill tables as the Drct run — the VM is bit-identical to the
+  // construction it compiles from) while the backend_* diagnostic counters
+  // flip to report the choice honestly; tools/bench_compare.py treats
+  // those counters as semantic, so a silent flip would trip the perf gate.
+  spec::Alphabet ab;
+  auto p = loom::testing::parse("(({a, b}, &) < c << i, true)", ab);
+  CampaignOptions opt;
+  opt.seeds = 4;
+  opt.stimuli.rounds = 2;
+  opt.mutants_per_kind = 6;
+  opt.backend = mon::Backend::Drct;
+  const CampaignResult drct = run_campaign(p, ab, opt);
+  opt.backend = mon::Backend::Vm;
+  const CampaignResult vm = run_campaign(p, ab, opt);
+
+  ASSERT_TRUE(vm.ok()) << vm.report(ab);
+  EXPECT_EQ(vm.compile_stats.backend_chosen, mon::Backend::Vm);
+  // Same work, same kills, same Figure-6 accounting — only the report's
+  // backend line (and the Drct-only recognizer coverage) may differ.
+  EXPECT_EQ(vm.traces, drct.traces);
+  EXPECT_EQ(vm.events, drct.events);
+  EXPECT_EQ(vm.valid_accepted, drct.valid_accepted);
+  EXPECT_EQ(vm.oracle_disagreements, drct.oracle_disagreements);
+  for (std::size_t k = 0; k < std::size(vm.mutation); ++k) {
+    EXPECT_EQ(vm.mutation[k].applied, drct.mutation[k].applied) << k;
+    EXPECT_EQ(vm.mutation[k].invalid, drct.mutation[k].invalid) << k;
+    EXPECT_EQ(vm.mutation[k].detected, drct.mutation[k].detected) << k;
+    EXPECT_EQ(vm.mutation[k].missed, drct.mutation[k].missed) << k;
+  }
+  EXPECT_EQ(vm.monitor_stats.ops, drct.monitor_stats.ops);
+  EXPECT_EQ(vm.monitor_stats.events, drct.monitor_stats.events);
+
+  const auto counters = vm.diagnostic_counters();
+  const auto value = [&](const char* name) {
+    for (const auto& c : counters) {
+      if (std::string_view(c.name) == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value("backend_vm"), 1.0);
+  EXPECT_EQ(value("backend_viapsl"), 0.0);
 }
 
 TEST(Campaign, ReportIsHumanReadable) {

@@ -94,7 +94,8 @@ TEST_P(ParallelCampaign, BackendKnobStaysDeterministicAcrossThreads) {
   // The backend grid: whichever monitor construction executes the units,
   // the thread count and shard size stay pure performance knobs.
   for (const mon::Backend backend :
-       {mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL}) {
+       {mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL,
+        mon::Backend::Vm}) {
     const CampaignRun serial =
         run_with(GetParam(), 1, 0, /*viapsl=*/false, backend);
     const CampaignRun eight =

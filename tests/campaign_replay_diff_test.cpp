@@ -107,7 +107,8 @@ TEST_P(CampaignReplayDiff, BackendGridKeepsTheCachedPathBitIdentical) {
   // cached+batched engine at 4 threads must reproduce the legacy
   // regenerate-and-step serial run byte for byte.
   for (const mon::Backend backend :
-       {mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL}) {
+       {mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL,
+        mon::Backend::Vm}) {
     const CampaignRun legacy =
         run_with(GetParam(), 1, kLegacy, 3, /*viapsl=*/false, backend);
     const CampaignRun cached =

@@ -21,7 +21,8 @@ namespace loom::abv {
 namespace {
 
 constexpr mon::Backend kBackends[] = {
-    mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL};
+    mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL,
+    mon::Backend::Vm};
 
 constexpr MutationKind kKinds[] = {
     MutationKind::Drop, MutationKind::Duplicate, MutationKind::SwapAdjacent,

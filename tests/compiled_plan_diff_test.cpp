@@ -20,7 +20,8 @@ namespace loom::abv {
 namespace {
 
 constexpr mon::Backend kBackends[] = {
-    mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL};
+    mon::Backend::Auto, mon::Backend::Drct, mon::Backend::ViaPSL,
+    mon::Backend::Vm};
 
 struct CampaignRun {
   CampaignResult result;

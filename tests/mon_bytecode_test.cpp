@@ -1,0 +1,493 @@
+// The bytecode VM backend's lockdown wall: the compiler's instruction
+// stream is pinned by golden disassembly (so opcode layout changes are a
+// conscious diff, not an accident), and the interpreter is differentially
+// fuzzed against the Drct monitors it compiles from — verdicts, violation
+// reports (reason strings included), the Figure-6 op/event/max-ops
+// accounting and the space bits must match event for event, through both
+// MonitorModule batch policies, at random batch cut points, and lane for
+// lane through VmLaneBatch's event-index-major lockstep.  ViaPSL rides
+// along as the relational cross-check: a clause-network rejection must
+// always be confirmed by the VM (no false alarms, psl_equivalence_test's
+// relation 1 per prefix).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mon/bytecode.hpp"
+#include "mon/compiled.hpp"
+#include "mon/monitor_module.hpp"
+#include "mon/monitors.hpp"
+#include "mon/vm.hpp"
+#include "psl/clause_monitor.hpp"
+#include "sim/scheduler.hpp"
+#include "support/rng.hpp"
+#include "testing.hpp"
+
+namespace loom::mon {
+namespace {
+
+// --- golden disassembly ----------------------------------------------------
+
+struct Golden {
+  const char* source;
+  const char* listing;
+};
+
+// The exact compiler output per property shape.  A failing diff here means
+// the instruction layout changed: update the listing *and* re-run the fuzz
+// suites below — they are what proves the new layout still executes the
+// Drct semantics bit for bit.
+constexpr Golden kGolden[] = {
+    {"(n << i, true)",
+     "vm antecedent repeated=1 fragments=1 ranges=1 names=64 space=9\n"
+     "pool:\n"
+     "  k0: [1,1] conj\n"
+     "frags:\n"
+     "  f0: r0..r0 conj\n"
+     "ranges:\n"
+     "  r0: n=#0 k0\n"
+     "code:\n"
+     "   0: retire.if       holds|violated\n"
+     "   1: filter\n"
+     "   2: dispatch\n"
+     "   3: frag.step       f0 ok->4 none->5 err->7\n"
+     "   4: complete.ante\n"
+     "   5: note.progress\n"
+     "   6: halt\n"
+     "   7: latch.violation\n"
+     "   8: halt\n"},
+    {"(({a, b, c}, &) << s, false)",
+     "vm antecedent repeated=0 fragments=1 ranges=3 names=64 space=17\n"
+     "pool:\n"
+     "  k0: [1,1] conj\n"
+     "frags:\n"
+     "  f0: r0..r2 conj\n"
+     "ranges:\n"
+     "  r0: n=#0 k0\n"
+     "  r1: n=#1 k0\n"
+     "  r2: n=#2 k0\n"
+     "code:\n"
+     "   0: retire.if       holds|violated\n"
+     "   1: filter\n"
+     "   2: dispatch\n"
+     "   3: frag.step       f0 ok->4 none->5 err->7\n"
+     "   4: complete.ante\n"
+     "   5: note.progress\n"
+     "   6: halt\n"
+     "   7: latch.violation\n"
+     "   8: halt\n"},
+    {"(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)",
+     "vm antecedent repeated=1 fragments=3 ranges=5 names=64 space=33\n"
+     "pool:\n"
+     "  k0: [1,1] conj\n"
+     "  k1: [2,8] disj\n"
+     "  k2: [1,1] disj\n"
+     "frags:\n"
+     "  f0: r0..r1 conj\n"
+     "  f1: r2..r3 disj\n"
+     "  f2: r4..r4 conj\n"
+     "ranges:\n"
+     "  r0: n=#0 k0\n"
+     "  r1: n=#1 k0\n"
+     "  r2: n=#2 k1\n"
+     "  r3: n=#3 k2\n"
+     "  r4: n=#4 k0\n"
+     "code:\n"
+     "   0: retire.if       holds|violated\n"
+     "   1: filter\n"
+     "   2: dispatch\n"
+     "   3: frag.step       f0 ok->6 none->9 err->11\n"
+     "   4: frag.step       f1 ok->7 none->9 err->11\n"
+     "   5: frag.step       f2 ok->8 none->9 err->11\n"
+     "   6: advance         f1 ->9\n"
+     "   7: advance         f2 ->9\n"
+     "   8: complete.ante\n"
+     "   9: note.progress\n"
+     "  10: halt\n"
+     "  11: latch.violation\n"
+     "  12: halt\n"},
+    {"(p[2,3] => q[1,4] < r, 10us)",
+     "vm timed bound=10 us fragments=3 ranges=3 names=64 space=155\n"
+     "pool:\n"
+     "  k0: [2,3] conj\n"
+     "  k1: [1,4] conj\n"
+     "  k2: [1,1] conj\n"
+     "frags:\n"
+     "  f0: r0..r0 conj min-time\n"
+     "  f1: r1..r1 conj\n"
+     "  f2: r2..r2 conj min-time\n"
+     "ranges:\n"
+     "  r0: n=#0 k0\n"
+     "  r1: n=#1 k1\n"
+     "  r2: n=#2 k2\n"
+     "code:\n"
+     "   0: retire.if       violated\n"
+     "   1: filter\n"
+     "   2: deadline.guard\n"
+     "   3: dispatch\n"
+     "   4: frag.step       f0 ok->7 none->10 err->13\n"
+     "   5: frag.step       f1 ok->8 none->10 err->13\n"
+     "   6: frag.step       f2 ok->9 none->10 err->13\n"
+     "   7: advance         f1 ->10\n"
+     "   8: advance         f2 ->10\n"
+     "   9: complete.timed\n"
+     "  10: update.timing\n"
+     "  11: note.progress\n"
+     "  12: halt\n"
+     "  13: latch.violation\n"
+     "  14: halt\n"},
+};
+
+TEST(MonBytecodeDisasm, GoldenListingsPerPropertyShape) {
+  for (const auto& g : kGolden) {
+    spec::Alphabet ab;
+    const spec::Property p = loom::testing::parse(g.source, ab);
+    const auto program = compile_vm(p);
+    EXPECT_EQ(disassemble(*program), g.listing) << g.source;
+  }
+}
+
+TEST(MonBytecodeDisasm, CompileIsAPureFunctionOfTheProperty) {
+  // Two compilations of the same property — one with the caller's plan,
+  // one planning internally — disassemble identically, which is what lets
+  // the campaign's legacy per-unit path rebuild byte-identical programs.
+  spec::Alphabet ab;
+  const spec::Property p = loom::testing::parse(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)", ab);
+  const auto internal = compile_vm(p);
+  const auto shared_plan = std::make_shared<const spec::OrderingPlan>(
+      spec::plan_antecedent(p.antecedent()));
+  const auto external = compile_vm(p, shared_plan);
+  EXPECT_EQ(disassemble(*internal), disassemble(*external));
+  EXPECT_EQ(internal->code.size(), external->code.size());
+  EXPECT_EQ(internal->space_bits, external->space_bits);
+}
+
+// --- differential fuzz: VM ≡ Drct ≡ (relationally) ViaPSL -----------------
+
+struct Case {
+  const char* label;
+  const char* source;
+};
+
+constexpr Case kCases[] = {
+    {"antecedent-repeated", "(n << i, true)"},
+    {"antecedent-retiring", "(({a, b, c}, &) << s, false)"},
+    {"antecedent-ranged",
+     "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)"},
+    {"timed", "(p[2,3] => q[1,4] < r, 10us)"},
+};
+
+std::vector<spec::Name> names_of(const spec::Property& p, spec::Alphabet& ab) {
+  std::vector<spec::Name> names;
+  p.alphabet().for_each(
+      [&](std::size_t n) { names.push_back(static_cast<spec::Name>(n)); });
+  names.push_back(ab.name("noise_x"));
+  names.push_back(ab.name("noise_y"));
+  return names;
+}
+
+spec::Trace fuzz_trace(const std::vector<spec::Name>& names,
+                       support::Rng& rng, sim::Time start = sim::Time()) {
+  spec::Trace t;
+  const std::size_t len = rng.below(40);
+  sim::Time now = start;
+  for (std::size_t i = 0; i < len; ++i) {
+    now += sim::Time::ns(1 + rng.below(2000));
+    t.push_back({names[rng.below(names.size())], now});
+  }
+  return t;
+}
+
+void expect_same_outcome(Monitor& vm, Monitor& drct, const std::string& what) {
+  EXPECT_EQ(vm.verdict(), drct.verdict()) << what;
+  ASSERT_EQ(vm.violation().has_value(), drct.violation().has_value()) << what;
+  if (vm.violation() && drct.violation()) {
+    EXPECT_EQ(vm.violation()->event_ordinal, drct.violation()->event_ordinal)
+        << what;
+    EXPECT_EQ(vm.violation()->time, drct.violation()->time) << what;
+    EXPECT_EQ(vm.violation()->name, drct.violation()->name) << what;
+    EXPECT_EQ(vm.violation()->reason, drct.violation()->reason) << what;
+  }
+  EXPECT_EQ(vm.stats().ops, drct.stats().ops) << what;
+  EXPECT_EQ(vm.stats().events, drct.stats().events) << what;
+  EXPECT_EQ(vm.stats().max_ops_per_event, drct.stats().max_ops_per_event)
+      << what;
+  EXPECT_EQ(vm.space_bits(), drct.space_bits()) << what;
+}
+
+TEST(MonBytecodeFuzz, VmMatchesDrctEventForEventAndViaPslNeverLeads) {
+  for (const auto& c : kCases) {
+    spec::Alphabet ab;
+    const spec::Property p = loom::testing::parse(c.source, ab);
+    const auto names = names_of(p, ab);
+    const auto program = compile_vm(p);
+    const auto encoding =
+        std::make_shared<const psl::Encoding>(psl::encode(p, 2000000, &ab));
+
+    for (std::uint64_t trial = 0; trial < 80; ++trial) {
+      support::Rng rng = support::Rng::stream(0xB17E + trial, 5);
+      const spec::Trace trace = fuzz_trace(names, rng);
+      const sim::Time end =
+          trace.empty() ? sim::Time::zero() : trace.back().time;
+
+      VmMonitor vm(program);
+      auto drct = make_monitor(p);
+      psl::ClauseMonitor viapsl(encoding);
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        vm.observe(trace[i].name, trace[i].time);
+        drct->observe(trace[i].name, trace[i].time);
+        viapsl.observe(trace[i].name, trace[i].time);
+        const std::string what = std::string(c.label) + " trial " +
+                                 std::to_string(trial) + " event " +
+                                 std::to_string(i);
+        EXPECT_EQ(vm.verdict(), drct->verdict()) << what;
+        // Relational cross-check: the clause network never rejects a
+        // prefix the direct construction accepts.
+        if (viapsl.verdict() == Verdict::Violated) {
+          EXPECT_EQ(vm.verdict(), Verdict::Violated) << what << " [viapsl]";
+        }
+      }
+      vm.finish(end);
+      drct->finish(end);
+      viapsl.finish(end);
+      const std::string what = std::string(c.label) + " trial " +
+                               std::to_string(trial) + " [finish]";
+      expect_same_outcome(vm, *drct, what);
+      if (viapsl.verdict() == Verdict::Violated) {
+        EXPECT_EQ(vm.verdict(), Verdict::Violated) << what << " [viapsl]";
+      }
+    }
+  }
+}
+
+TEST(MonBytecodeFuzz, ObserveBatchAtRandomCutsEqualsTheEventLoop) {
+  // The devirtualized VmMonitor::observe_batch over arbitrary slice splits
+  // must be indistinguishable from the per-event loop — the replay cache's
+  // batched path depends on exactly this.
+  for (const auto& c : kCases) {
+    spec::Alphabet ab;
+    const spec::Property p = loom::testing::parse(c.source, ab);
+    const auto names = names_of(p, ab);
+    const auto program = compile_vm(p);
+
+    for (std::uint64_t trial = 0; trial < 40; ++trial) {
+      support::Rng rng = support::Rng::stream(0xBA7C + trial, 5);
+      const spec::Trace trace = fuzz_trace(names, rng);
+      const sim::Time end =
+          trace.empty() ? sim::Time::zero() : trace.back().time;
+
+      VmMonitor looped(program);
+      for (const auto& ev : trace) looped.observe(ev.name, ev.time);
+      looped.finish(end);
+
+      VmMonitor batched(program);
+      std::size_t done = 0;
+      while (done < trace.size()) {
+        const std::size_t cut =
+            done + 1 + rng.below(trace.size() - done);
+        batched.observe_batch(trace.data() + done, trace.data() + cut);
+        done = cut;
+      }
+      batched.finish(end);
+      expect_same_outcome(batched, looped,
+                          std::string(c.label) + " trial " +
+                              std::to_string(trial) + " [batch-cuts]");
+    }
+  }
+}
+
+TEST(MonBytecodeFuzz, ResetReusesTheFrameBitForBit) {
+  // One VM frame reset between fuzzed traces equals a fresh frame per
+  // trace — the pooled-monitor shape of the campaign shards.
+  for (const auto& c : kCases) {
+    spec::Alphabet ab;
+    const spec::Property p = loom::testing::parse(c.source, ab);
+    const auto names = names_of(p, ab);
+    const auto program = compile_vm(p);
+    VmMonitor pooled(program);
+    for (std::uint64_t trial = 0; trial < 30; ++trial) {
+      support::Rng rng = support::Rng::stream(0x4E5E + trial, 9);
+      const spec::Trace trace = fuzz_trace(names, rng);
+      const sim::Time end =
+          trace.empty() ? sim::Time::zero() : trace.back().time;
+      pooled.reset();
+      VmMonitor fresh(program);
+      for (const auto& ev : trace) {
+        pooled.observe(ev.name, ev.time);
+        fresh.observe(ev.name, ev.time);
+      }
+      pooled.finish(end);
+      fresh.finish(end);
+      expect_same_outcome(pooled, fresh,
+                          std::string(c.label) + " trial " +
+                              std::to_string(trial) + " [reset-reuse]");
+    }
+  }
+}
+
+// --- MonitorModule batch policies ------------------------------------------
+
+TEST(MonBytecodeBatch, BothModulePoliciesMatchDrctHostedTheSameWay) {
+  // Host a VM monitor and a Drct monitor in identical MonitorModules and
+  // replay random slice splits under each BatchPolicy: verdicts, stats and
+  // callback counts must agree policy for policy.
+  using Policy = MonitorModule::BatchPolicy;
+  for (const auto& c : kCases) {
+    spec::Alphabet ab;
+    const spec::Property p = loom::testing::parse(c.source, ab);
+    const auto names = names_of(p, ab);
+    const auto program = compile_vm(p);
+
+    for (const Policy policy : {Policy::StopAtViolation, Policy::ReplayAll}) {
+      for (std::uint64_t trial = 0; trial < 30; ++trial) {
+        support::Rng rng = support::Rng::stream(0x90DE + trial, 13);
+        const spec::Trace trace = fuzz_trace(names, rng);
+        const std::size_t cut =
+            trace.empty() ? 0 : rng.below(trace.size() + 1);
+        const sim::Time end =
+            trace.empty() ? sim::Time::zero() : trace.back().time;
+        const std::string what =
+            std::string(c.label) + " trial " + std::to_string(trial) +
+            (policy == Policy::ReplayAll ? " [replay-all]" : " [stop]");
+
+        VmMonitor vm(program);
+        auto drct = make_monitor(p);
+        sim::Scheduler sched;
+        MonitorModule vm_host(sched, "vm", vm, ab);
+        MonitorModule drct_host(sched, "drct", *drct, ab);
+        vm_host.set_arm_watchdogs(false);
+        drct_host.set_arm_watchdogs(false);
+        std::size_t vm_fires = 0;
+        std::size_t drct_fires = 0;
+        vm_host.on_violation([&](const Violation&) { ++vm_fires; });
+        drct_host.on_violation([&](const Violation&) { ++drct_fires; });
+
+        // Two slices around a random cut, same policy both hosts.
+        spec::Trace head(trace.begin(), trace.begin() + cut);
+        spec::Trace tail(trace.begin() + cut, trace.end());
+        vm_host.observe_batch(head, policy);
+        vm_host.observe_batch(tail, policy);
+        drct_host.observe_batch(head, policy);
+        drct_host.observe_batch(tail, policy);
+        vm.finish(end);
+        drct->finish(end);
+
+        expect_same_outcome(vm, *drct, what);
+        EXPECT_EQ(vm_fires, drct_fires) << what;
+      }
+    }
+  }
+}
+
+// --- VmLaneBatch ≡ independent VmMonitors ----------------------------------
+
+TEST(MonBytecodeLanes, LockstepLanesEqualIndependentMonitors) {
+  for (const auto& c : kCases) {
+    spec::Alphabet ab;
+    const spec::Property p = loom::testing::parse(c.source, ab);
+    const auto names = names_of(p, ab);
+    const auto program = compile_vm(p);
+
+    constexpr std::size_t kLanes = 8;
+    VmLaneBatch lanes(program, kLanes);
+    ASSERT_EQ(lanes.lanes(), kLanes);
+
+    for (std::uint64_t round = 0; round < 6; ++round) {
+      // Per-lane traces of deliberately different lengths: exhausted lanes
+      // must sit out the lockstep tail untouched.
+      std::vector<spec::Trace> traces;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        support::Rng rng = support::Rng::stream(0x1A9E + round * kLanes + l, 3);
+        traces.push_back(fuzz_trace(names, rng));
+      }
+      std::vector<const spec::Trace*> ptrs;
+      for (const auto& t : traces) ptrs.push_back(&t);
+
+      for (std::size_t l = 0; l < kLanes; ++l) lanes.reset(l);
+      lanes.run(ptrs);
+
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        const sim::Time end =
+            traces[l].empty() ? sim::Time::zero() : traces[l].back().time;
+        lanes.finish(l, end);
+
+        VmMonitor solo(program);
+        for (const auto& ev : traces[l]) solo.observe(ev.name, ev.time);
+        solo.finish(end);
+
+        const std::string what = std::string(c.label) + " round " +
+                                 std::to_string(round) + " lane " +
+                                 std::to_string(l);
+        EXPECT_EQ(lanes.verdict(l), solo.verdict()) << what;
+        ASSERT_EQ(lanes.violation(l).has_value(), solo.violation().has_value())
+            << what;
+        if (lanes.violation(l) && solo.violation()) {
+          EXPECT_EQ(lanes.violation(l)->event_ordinal,
+                    solo.violation()->event_ordinal)
+              << what;
+          EXPECT_EQ(lanes.violation(l)->time, solo.violation()->time) << what;
+          EXPECT_EQ(lanes.violation(l)->name, solo.violation()->name) << what;
+          EXPECT_EQ(lanes.violation(l)->reason, solo.violation()->reason)
+              << what;
+        }
+        EXPECT_EQ(lanes.stats(l).ops, solo.stats().ops) << what;
+        EXPECT_EQ(lanes.stats(l).events, solo.stats().events) << what;
+        EXPECT_EQ(lanes.stats(l).max_ops_per_event,
+                  solo.stats().max_ops_per_event)
+            << what;
+        EXPECT_EQ(lanes.space_bits(), solo.space_bits()) << what;
+      }
+    }
+  }
+}
+
+TEST(MonBytecodeLanes, PerLaneBatchSlicesMatchTheLockstepRun) {
+  // observe_batch on individual lanes at arbitrary cuts lands on the same
+  // bytes as run()'s event-index-major sweep.
+  spec::Alphabet ab;
+  const spec::Property p = loom::testing::parse(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)", ab);
+  const auto names = names_of(p, ab);
+  const auto program = compile_vm(p);
+
+  constexpr std::size_t kLanes = 4;
+  std::vector<spec::Trace> traces;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    support::Rng rng = support::Rng::stream(0xC4A0 + l, 17);
+    traces.push_back(fuzz_trace(names, rng));
+  }
+  std::vector<const spec::Trace*> ptrs;
+  for (const auto& t : traces) ptrs.push_back(&t);
+
+  VmLaneBatch lockstep(program, kLanes);
+  lockstep.run(ptrs);
+
+  VmLaneBatch sliced(program, kLanes);
+  support::Rng rng = support::Rng::stream(0xC4A0, 19);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    std::size_t done = 0;
+    while (done < traces[l].size()) {
+      const std::size_t cut = done + 1 + rng.below(traces[l].size() - done);
+      sliced.observe_batch(l, traces[l].data() + done,
+                           traces[l].data() + cut);
+      done = cut;
+    }
+  }
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    const sim::Time end =
+        traces[l].empty() ? sim::Time::zero() : traces[l].back().time;
+    lockstep.finish(l, end);
+    sliced.finish(l, end);
+    EXPECT_EQ(lockstep.verdict(l), sliced.verdict(l)) << "lane " << l;
+    EXPECT_EQ(lockstep.stats(l).ops, sliced.stats(l).ops) << "lane " << l;
+    EXPECT_EQ(lockstep.violation(l).has_value(),
+              sliced.violation(l).has_value())
+        << "lane " << l;
+  }
+}
+
+}  // namespace
+}  // namespace loom::mon

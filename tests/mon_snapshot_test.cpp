@@ -170,7 +170,48 @@ TEST(MonSnapshot, CompiledInstancesRoundTripAtRandomCuts) {
     check_snapshot_restore(
         [&] { return compiled.instantiate(Backend::ViaPSL); }, names,
         c.label);
+    // The bytecode VM frame: compiled separately because the program is
+    // only materialized when the compile targets Backend::Vm.
+    CompileOptions vm_opt;
+    vm_opt.backend = Backend::Vm;
+    const CompiledProperty vm = CompiledProperty::compile(p, ab, vm_opt);
+    check_snapshot_restore([&] { return vm.instantiate(Backend::Vm); }, names,
+                           c.label);
   }
+}
+
+TEST(MonSnapshot, VmRestoreCrossesInstancesOfTheSameProgram) {
+  // The lane-batched campaign shape: a snapshot written by one VM frame
+  // restores into a different, dirty frame stamped from the same program.
+  spec::Alphabet ab;
+  const spec::Property p = loom::testing::parse(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)", ab);
+  const auto names = names_of(p, ab);
+  CompileOptions opt;
+  opt.backend = Backend::Vm;
+  const CompiledProperty compiled = CompiledProperty::compile(p, ab, opt);
+
+  support::Rng rng = support::Rng::stream(101, 3);
+  const spec::Trace trace = fuzz_trace(names, rng);
+  const sim::Time end = trace.empty() ? sim::Time::zero() : trace.back().time;
+  const std::size_t cut = trace.size() / 2;
+
+  auto reference = compiled.instantiate();
+  feed(*reference, trace, 0, trace.size());
+  reference->finish(end);
+
+  auto writer = compiled.instantiate();
+  feed(*writer, trace, 0, cut);
+  Snapshot snap;
+  writer->snapshot(snap);
+  writer.reset();
+
+  auto pooled = compiled.instantiate();
+  feed(*pooled, trace, 0, trace.size());  // dirty from unrelated work
+  pooled->restore(snap);
+  feed(*pooled, trace, cut, trace.size());
+  pooled->finish(end);
+  expect_same_outcome(*reference, *pooled, "vm cross-instance restore");
 }
 
 TEST(MonSnapshot, RestoreCrossesInstancesOfTheSamePlan) {
@@ -221,6 +262,26 @@ TEST(MonSnapshot, RestoreRejectsAForeignMonitorKind) {
 
   auto viapsl = std::make_unique<psl::ClauseMonitor>(psl::encode(ante));
   EXPECT_THROW(viapsl->restore(snap), std::logic_error);
+
+  // The VM frame rejects every foreign format tag, and its own snapshots
+  // are rejected right back by the Drct monitors.
+  CompileOptions vm_opt;
+  vm_opt.backend = Backend::Vm;
+  const CompiledProperty vm_ante = CompiledProperty::compile(ante, ab, vm_opt);
+  auto vm = vm_ante.instantiate();
+  EXPECT_THROW(vm->restore(snap), std::logic_error);  // ANTC into VMFR
+  Snapshot vm_snap;
+  vm->snapshot(vm_snap);
+  EXPECT_THROW(a->restore(vm_snap), std::logic_error);  // VMFR into ANTC
+  EXPECT_THROW(t->restore(vm_snap), std::logic_error);  // VMFR into TIMD
+
+  // Same tag, different program shape: a timed chain's frame layout does
+  // not match the antecedent program's, and restore must say so rather
+  // than misread the words.
+  const CompiledProperty vm_timed =
+      CompiledProperty::compile(timed, ab, vm_opt);
+  auto vt = vm_timed.instantiate();
+  EXPECT_THROW(vt->restore(vm_snap), std::logic_error);
 }
 
 TEST(MonSnapshot, OneBufferServesManySnapshotsWithoutGrowth) {
@@ -245,6 +306,35 @@ TEST(MonSnapshot, OneBufferServesManySnapshotsWithoutGrowth) {
     // Same automaton, same word layout: reuse never changes the format.
     // (A present violation report appends its ordinal/time/name words; the
     // reason string lands in the reusable string pool.)
+    const std::size_t expected =
+        fresh_words + (monitor->violation().has_value() ? 3u : 0u);
+    EXPECT_EQ(snap.word_count(), expected);
+  }
+}
+
+TEST(MonSnapshot, VmFrameBufferReuseKeepsWordCountsStable) {
+  // Same lockdown for the bytecode VM frame: its flat word layout is a
+  // pure function of the program shape, so reusing one buffer across a
+  // whole fuzzed run never changes the count except for the violation
+  // report's three appended words.
+  spec::Alphabet ab;
+  const spec::Property p = loom::testing::parse(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)", ab);
+  const auto names = names_of(p, ab);
+  CompileOptions opt;
+  opt.backend = Backend::Vm;
+  const CompiledProperty compiled = CompiledProperty::compile(p, ab, opt);
+  auto monitor = compiled.instantiate();
+  Snapshot snap;
+  support::Rng rng = support::Rng::stream(8, 7);
+  const spec::Trace trace = fuzz_trace(names, rng);
+
+  monitor->snapshot(snap);
+  const std::size_t fresh_words = snap.word_count();
+  EXPECT_GT(fresh_words, 0u);
+  for (const auto& ev : trace) {
+    monitor->observe(ev.name, ev.time);
+    monitor->snapshot(snap);
     const std::size_t expected =
         fresh_words + (monitor->violation().has_value() ? 3u : 0u);
     EXPECT_EQ(snap.word_count(), expected);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "mon/compiled.hpp"
 #include "support/args.hpp"
 #include "support/bitset.hpp"
 #include "support/diagnostics.hpp"
@@ -243,6 +244,38 @@ TEST(Args, ParseOnOffIsExact) {
   EXPECT_EQ(parse_on_off("on "), std::nullopt);
   EXPECT_EQ(parse_on_off(" off"), std::nullopt);
   EXPECT_EQ(parse_on_off("true"), std::nullopt);
+}
+
+TEST(Args, ParseBackendCoversEverySpellingTheClisAccept) {
+  // The one parser behind loomcheck's --backend=, parallel_campaign's and
+  // bench_scaling's positional backend: every enumerator round-trips, and
+  // an unknown spelling is nullopt — which each CLI turns into its usage
+  // text and exit status 2, never a silent Auto fallback.
+  EXPECT_EQ(mon::parse_backend("auto"), mon::Backend::Auto);
+  EXPECT_EQ(mon::parse_backend("drct"), mon::Backend::Drct);
+  EXPECT_EQ(mon::parse_backend("viapsl"), mon::Backend::ViaPSL);
+  EXPECT_EQ(mon::parse_backend("vm"), mon::Backend::Vm);
+  EXPECT_EQ(mon::parse_backend(""), std::nullopt);
+  EXPECT_EQ(mon::parse_backend("VM"), std::nullopt);    // case-sensitive
+  EXPECT_EQ(mon::parse_backend("vm "), std::nullopt);   // no trimming
+  EXPECT_EQ(mon::parse_backend("psl"), std::nullopt);
+  EXPECT_EQ(mon::parse_backend("bytecode"), std::nullopt);
+}
+
+TEST(Args, ParseBackendArgFallsBackOnlyWhenAbsent) {
+  char prog[] = "prog";
+  char vm[] = "vm";
+  char bad[] = "wasm";
+  {
+    char* argv[] = {prog, vm};
+    EXPECT_EQ(mon::parse_backend_arg(2, argv, 1), mon::Backend::Vm);
+    EXPECT_EQ(mon::parse_backend_arg(1, argv, 1), mon::Backend::Auto);
+  }
+  {
+    // Present but unknown is nullopt — the bench/example mains exit 2.
+    char* argv[] = {prog, bad};
+    EXPECT_EQ(mon::parse_backend_arg(2, argv, 1), std::nullopt);
+  }
 }
 
 }  // namespace

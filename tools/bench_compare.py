@@ -17,8 +17,8 @@ CampaignResult::diagnostic_counters() and the bench binaries):
                   bit_identical — higher is better and deterministic for a
                   given fixture: hard fail on a drop > 0.02 absolute
                   (bit_identical: any drop).
-  semantic        backend_viapsl — the cost model's choice; any change
-                  fails, a backend flip is never noise.
+  semantic        backend_viapsl, backend_vm — which monitor construction
+                  ran; any change fails, a backend flip is never noise.
   informational   checkpoint_hits, events_skipped, mon_events_per_s,
                   speedup — reported, never gated (absolute counts scale
                   with iteration counts; throughput/speedup are restated
@@ -43,7 +43,7 @@ RATIO_ABS_TOL = 0.02
 
 INFORMATIONAL = {"checkpoint_hits", "events_skipped", "mon_events_per_s",
                  "speedup"}
-SEMANTIC = {"backend_viapsl"}
+SEMANTIC = {"backend_viapsl", "backend_vm"}
 
 
 def classify(name):
