@@ -14,6 +14,8 @@
 
 #include "abv/campaign.hpp"
 #include "abv/stimuli.hpp"
+#include "wire/payload.hpp"
+#include "wire/wire.hpp"
 #include "bench_json.hpp"
 #include "mon/bytecode.hpp"
 #include "mon/monitors.hpp"
@@ -432,6 +434,92 @@ void BM_CampaignManyProperties(benchmark::State& state) {
                              : "+cross-campaign plan cache");
 }
 BENCHMARK(BM_CampaignManyProperties)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  // The versioned wire codec under cross-process load: Arg 0 frames and
+  // re-decodes a realistic CampaignResult (what every worker partial
+  // carries), Arg 1 a long generated trace (the biggest payload the format
+  // defines).  One Encoder and capacity-reusing decode targets, the
+  // steady-state shape of a parent draining worker pipes — so allocs/frame
+  // measures the reuse discipline, not first-touch growth.
+  const bool long_trace = state.range(0) != 0;
+  Fixture fx(kConfig[2], 64);
+
+  abv::CampaignResult result;
+  result.traces = 24;
+  result.events = 120000;
+  result.valid_accepted = 24;
+  for (auto& m : result.mutation) {
+    m.applied = 160;
+    m.invalid = 150;
+    m.detected = 150;
+  }
+  result.alphabet_coverage = 0.875;
+  result.recognizer_state_coverage = 0.9375;
+  result.monitor_stats.ops = 2400000;
+  result.monitor_stats.events = 120000;
+  result.monitor_stats.max_ops_per_event = 24;
+  result.compile_stats.plans_built = 1;
+  result.compile_stats.instances_stamped = 12;
+  result.compile_stats.instance_reuses = 930;
+  result.trace_cache_hits = 120;
+  result.trace_cache_misses = 24;
+  result.checkpoint_hits = 700;
+  result.events_skipped = 90000;
+
+  wire::Encoder enc;
+  std::vector<std::uint8_t> framed;
+  abv::CampaignResult result_out;
+  spec::Trace trace_out;
+  std::uint64_t bytes = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    support::AllocCounter::Scope scope;
+    enc.clear();
+    framed.clear();
+    if (long_trace) {
+      wire::encode_trace(enc, fx.trace, fx.ab);
+      wire::write_frame(framed, wire::Payload::Trace, enc);
+    } else {
+      wire::encode_result(enc, result);
+      wire::write_frame(framed, wire::Payload::Result, enc);
+    }
+    wire::Frame frame;
+    std::size_t consumed = 0;
+    wire::DecodeError err;
+    if (!wire::parse_frame(framed.data(), framed.size(), frame, consumed,
+                           err)) {
+      state.SkipWithError(err.to_string().c_str());
+      return;
+    }
+    wire::Decoder d(frame.data, frame.size);
+    bool ok;
+    if (long_trace) {
+      spec::Alphabet ab;
+      ok = wire::decode_trace(d, trace_out, ab);
+      benchmark::DoNotOptimize(trace_out);
+    } else {
+      ok = wire::decode_result(d, result_out);
+      benchmark::DoNotOptimize(result_out);
+    }
+    if (!ok || !d.exhausted()) {
+      state.SkipWithError("decode failed");
+      return;
+    }
+    bytes += framed.size();
+    ++frames;
+    allocs += scope.allocs();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  if (support::AllocCounter::hooks_linked()) {
+    state.counters["allocs/frame"] = benchmark::Counter(bench::safe_ratio(
+        static_cast<double>(allocs), static_cast<double>(frames)));
+  }
+  state.SetLabel(long_trace ? "payload=trace" : "payload=result");
+}
+BENCHMARK(BM_WireRoundTrip)->Arg(0)->Arg(1);
 
 void BM_MonitorModulePerEvent(benchmark::State& state) {
   // In-simulation stepping, one observe() per event: every step pays the

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "abv/campaign.hpp"
 #include "abv/checker.hpp"
 #include "abv/trace.hpp"
 #include "mon/compiled.hpp"
@@ -89,6 +90,14 @@ int usage_error(const char* fmt, const char* what) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden worker mode: when a cross-process campaign execs this binary
+  // (CampaignOptions::worker_command = {"loomcheck", "--worker"}), it
+  // speaks the versioned wire protocol on stdin/stdout and exits with the
+  // pinned worker codes.  Checked before anything else — a worker must
+  // never print usage text into its frame stream.
+  if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
+    return abv::run_campaign_worker(0, 1);
+  }
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--help") == 0) {
       std::printf("%s", kUsage);

@@ -21,6 +21,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: parallel_campaign [threads] [seeds] [auto|drct|viapsl|vm]\n"
     "                         [--incremental=on|off] [--checkpoint-stride=N]\n"
+    "                         [--workers=N]\n"
     "\n"
     "  threads              worker threads for the parallel run (default:\n"
     "                       hardware concurrency)\n"
@@ -31,10 +32,13 @@ constexpr const char* kUsage =
     "                       bit-identical either way)\n"
     "  --checkpoint-stride=N  events between checkpoint snapshots on each\n"
     "                       valid trace (default 32, N >= 1)\n"
+    "  --workers=N          additionally run the campaigns across N worker\n"
+    "                       subprocesses (exec'd copies of this binary\n"
+    "                       speaking the wire format on pipes) and compare\n"
+    "                       against the in-process runs (default 0: skip)\n"
     "  --help               print this text and exit\n"
     "\n"
-    "exit status: 0 serial and parallel runs bit-identical, 1 mismatch,\n"
-    "2 usage error.\n";
+    "exit status: 0 all runs bit-identical, 1 mismatch, 2 usage error.\n";
 
 int usage_error(const char* fmt, const char* what) {
   std::fprintf(stderr, fmt, what);
@@ -46,14 +50,27 @@ int usage_error(const char* fmt, const char* what) {
 
 int main(int argc, char** argv) {
   using namespace loom;
+  // Hidden worker mode: the --workers=N run execs this same binary with
+  // --worker; the child speaks the wire protocol on stdin/stdout.
+  if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
+    return abv::run_campaign_worker(0, 1);
+  }
   // Flags may appear anywhere; positionals keep their order.
   bool incremental = true;
   std::size_t checkpoint_stride = 32;
+  std::size_t workers = 0;
   std::vector<char*> positional = {argv[0]};
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--help") == 0) {
       std::printf("%s", kUsage);
       return 0;
+    } else if (std::strncmp(argv[k], "--workers=", 10) == 0) {
+      const auto parsed = support::parse_positive(argv[k] + 10);
+      if (!parsed) {
+        return usage_error("bad --workers value (want a positive count): %s\n",
+                           argv[k] + 10);
+      }
+      workers = *parsed;
     } else if (std::strncmp(argv[k], "--incremental=", 14) == 0) {
       const auto parsed = support::parse_on_off(argv[k] + 14);
       if (!parsed) {
@@ -167,6 +184,39 @@ int main(int argc, char** argv) {
                 parallel[i].report(ab).c_str());
     identical =
         identical && serial[i].report(ab) == parallel[i].report(ab);
+  }
+
+  // Optional third leg: the same campaigns sharded across exec'd worker
+  // subprocesses of this very binary — the sixth invariant live on the
+  // command line.
+  if (workers > 0) {
+    std::printf("running the same campaigns across %zu worker processes...\n",
+                workers);
+    opt.threads = threads;
+    opt.workers = workers;
+    opt.worker_command = {argv[0], "--worker"};
+    const auto begin = std::chrono::steady_clock::now();
+    std::vector<abv::CampaignResult> cross;
+    try {
+      cross = abv::run_campaigns(ptrs, ab, opt);
+    } catch (const abv::WorkerFailure& e) {
+      std::fprintf(stderr, "worker failure: %s\n", e.what());
+      return 1;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    bool cross_identical = true;
+    for (std::size_t i = 0; i < properties.size(); ++i) {
+      cross_identical =
+          cross_identical && serial[i].report(ab) == cross[i].report(ab);
+    }
+    std::printf("cross-process: %7.1f ms on %zu workers — %s\n\n",
+                std::chrono::duration<double>(end - begin).count() * 1e3,
+                workers,
+                cross_identical ? "bit-identical to the serial run"
+                                : "MISMATCH (bug!)");
+    identical = identical && cross_identical;
+    opt.workers = 0;
+    opt.worker_command.clear();
   }
 
   std::size_t stamped = 0;

@@ -10,8 +10,11 @@
 #include "mon/vm.hpp"
 #include "psl/clause_monitor.hpp"
 #include "sim/scheduler.hpp"
+#include "spec/parser.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace_cache.hpp"
+#include "wire/payload.hpp"
+#include "wire/process.hpp"
 
 namespace loom::abv {
 namespace {
@@ -496,6 +499,219 @@ void run_shard(const std::vector<CampaignJob>& jobs, spec::Alphabet& ab,
   scratch.begin_shard();  // end-of-shard cleanup (see UnitScratch)
 }
 
+// Runs every listed shard in this process — serially or on a work-stealing
+// pool — filling outcomes[i] for shard i.  Shared by run_campaigns (the
+// workers=0 path) and run_campaign_worker (each worker process runs its
+// assigned slice through exactly this code, which is half of why
+// in-process ≡ cross-process holds byte for byte).
+void run_shards_in_process(const std::vector<CampaignJob>& jobs,
+                           spec::Alphabet& ab, const CampaignOptions& options,
+                           const std::vector<Shard>& shards,
+                           std::size_t threads,
+                           std::vector<ShardOutcome>& outcomes) {
+  std::optional<SeedTraceCache> trace_cache;
+  if (options.reuse_traces) trace_cache.emplace(/*shard_count=*/4 * threads);
+  SeedTraceCache* cache = trace_cache ? &*trace_cache : nullptr;
+  if (threads <= 1 || shards.size() <= 1) {
+    UnitScratch scratch;  // one worker: the caller's thread
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      run_shard(jobs, ab, options, shards[i], cache, scratch, outcomes[i]);
+    }
+  } else {
+    support::ThreadPool pool(std::min(threads, shards.size()));
+    pool.for_each_index(shards.size(), [&](std::size_t i) {
+      // One arena per worker thread, reused across every shard the worker
+      // happens to run (and across campaigns on the caller's thread): the
+      // buffers' capacity ratchets, while run_shard scopes the pooled
+      // instances so the scratch never outlives anything it borrows.
+      static thread_local UnitScratch scratch;
+      run_shard(jobs, ab, options, shards[i], cache, scratch, outcomes[i]);
+    });
+  }
+}
+
+#if LOOM_WIRE_HAS_PROCESS
+
+// Tears the worker fleet down — both pipe ends closed so a blocked child
+// dies on EOF/EPIPE instead of hanging, every child reaped — and raises
+// WorkerFailure.  Nothing partial has been merged when this throws: the
+// drain loop buffers a worker's partials until its clean Done frame.
+[[noreturn]] void fail_workers(std::vector<wire::WorkerProcess>& procs,
+                               const std::string& message) {
+  for (auto& p : procs) {
+    p.close_to_child();
+    p.close_from_child();
+    p.wait();
+  }
+  throw WorkerFailure("cross-process campaign: " + message);
+}
+
+// The parent side of cross-process sharding: spawn options.workers
+// subprocesses, hand each a round-robin slice of the exact shard layout
+// the in-process engine would run, and slot their wire-encoded partial
+// outcomes back into `outcomes` at the same indices — after which the
+// caller's merge loop cannot tell the difference.  That is the sixth
+// differential invariant (campaign_process_diff_test).
+void run_shards_cross_process(const std::vector<CampaignJob>& jobs,
+                              spec::Alphabet& ab,
+                              const CampaignOptions& options,
+                              const std::vector<Shard>& shards,
+                              std::vector<ShardOutcome>& outcomes) {
+  // A worker that died must surface as a write error, not a SIGPIPE kill.
+  wire::ignore_sigpipe();
+  const std::size_t workers = std::min(options.workers, shards.size());
+
+  // Round-robin assignment: shard i runs on worker i % workers.
+  std::vector<std::vector<std::size_t>> assigned(workers);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    assigned[i % workers].push_back(i);
+  }
+
+  // The request parts every worker shares: the alphabet's names in id
+  // order (re-interning them in that order reproduces the parent's dense
+  // ids exactly), each property's normalized text, and the options with
+  // workers zeroed — a worker never recursively forks its own fleet.
+  wire::WorkerRequestData base;
+  base.names.reserve(ab.size());
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    const spec::Name n = static_cast<spec::Name>(i);
+    base.names.push_back(ab.text(n));
+    base.directions.push_back(static_cast<std::uint8_t>(ab.direction(n)));
+  }
+  for (const auto& job : jobs) {
+    base.properties.push_back(spec::to_string(*job.property, ab));
+  }
+  base.options = options;
+  base.options.workers = 0;
+  base.options.plan_cache = nullptr;
+
+  std::vector<wire::WorkerProcess> procs;
+  procs.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    try {
+      procs.push_back(wire::spawn_worker(
+          options.worker_command,
+          [](int in, int out) { return run_campaign_worker(in, out); }, w));
+    } catch (const std::exception& e) {
+      fail_workers(procs, e.what());
+    }
+  }
+
+  // Write every request first, then drain the streams one worker at a
+  // time.  No deadlock is possible: requests are small, and a worker reads
+  // its whole request before writing anything; a worker blocked on a full
+  // response pipe simply waits until its drain turn comes.
+  wire::Encoder enc;
+  std::vector<std::uint8_t> framed;
+  for (std::size_t w = 0; w < workers; ++w) {
+    wire::WorkerRequestData req = base;
+    req.shards.reserve(assigned[w].size());
+    for (const std::size_t i : assigned[w]) {
+      req.shards.push_back(
+          {i, shards[i].job, shards[i].unit_begin, shards[i].unit_end});
+    }
+    enc.clear();
+    wire::encode_worker_request(enc, req);
+    framed.clear();
+    wire::write_frame(framed, wire::Payload::WorkerRequest, enc);
+    if (!wire::write_all(procs[w].to_child, framed.data(), framed.size())) {
+      fail_workers(procs, "worker " + std::to_string(w) +
+                              ": request write failed (worker gone?)");
+    }
+    procs[w].close_to_child();
+  }
+
+  std::vector<bool> filled(shards.size(), false);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::string who = "worker " + std::to_string(w);
+    // Buffer this worker's partials; nothing lands in `outcomes` before
+    // the worker's clean Done frame, matching partial count and exit 0.
+    std::vector<wire::WorkerPartialData> partials;
+    std::uint64_t done_count = 0;
+    bool done = false;
+    wire::FdFrameReader reader(procs[w].from_child);
+    while (!done) {
+      wire::Frame frame;
+      wire::DecodeError err;
+      const auto st = reader.next(frame, err);
+      if (st == wire::FdFrameReader::Status::Eof) {
+        const int status = procs[w].wait();
+        fail_workers(procs, who + ": stream ended before its Done frame (" +
+                                wire::describe_wait_status(status) + ")");
+      }
+      if (st == wire::FdFrameReader::Status::Error) {
+        fail_workers(procs, who + ": " + err.to_string());
+      }
+      wire::Decoder d(frame.data, frame.size);
+      switch (frame.tag) {
+        case wire::Payload::WorkerPartial: {
+          partials.emplace_back();
+          if (!wire::decode_worker_partial(d, partials.back())) {
+            fail_workers(procs, who + ": " + d.error().to_string());
+          }
+          if (!d.exhausted()) {
+            fail_workers(procs,
+                         who + ": trailing bytes after a partial payload");
+          }
+          break;
+        }
+        case wire::Payload::WorkerDone: {
+          if (!wire::decode_worker_done(d, done_count) || !d.exhausted()) {
+            fail_workers(procs, who + ": malformed Done frame");
+          }
+          done = true;
+          break;
+        }
+        case wire::Payload::WorkerError: {
+          std::string message;
+          if (!wire::decode_worker_error(d, message)) {
+            message = "(malformed error frame)";
+          }
+          fail_workers(procs, who + " reported: " + message);
+        }
+        default:
+          fail_workers(procs, who + ": unexpected " +
+                                  wire::to_string(frame.tag) + " frame");
+      }
+    }
+    procs[w].close_from_child();
+    const int status = procs[w].wait();
+    if (wire::exit_code(status) != kWorkerExitOk) {
+      fail_workers(procs, who + " " + wire::describe_wait_status(status));
+    }
+    if (done_count != partials.size() ||
+        partials.size() != assigned[w].size()) {
+      fail_workers(
+          procs, who + ": returned " + std::to_string(partials.size()) +
+                     " partials for " + std::to_string(assigned[w].size()) +
+                     " assigned shards");
+    }
+    // Clean stream, matching count, clean exit: only now do the partials
+    // become shard outcomes, at the indices the in-process engine fills.
+    for (auto& part : partials) {
+      const std::size_t i = static_cast<std::size_t>(part.shard);
+      if (i >= shards.size() || i % workers != w || filled[i] ||
+          part.job != shards[i].job) {
+        fail_workers(procs, who + ": partial for foreign shard " +
+                                std::to_string(part.shard));
+      }
+      filled[i] = true;
+      ShardOutcome& out = outcomes[i];
+      out.partial = part.partial;
+      AlphabetCoverage cov(jobs[part.job].property->alphabet());
+      for (std::size_t n = 0; n < part.alphabet_seen.size(); ++n) {
+        if (part.alphabet_seen[n]) cov.record(static_cast<spec::Name>(n));
+      }
+      out.alphabet.emplace(std::move(cov));
+      if (part.has_recognizer) {
+        out.recognizer.emplace(std::move(part.recognizer_rows));
+      }
+    }
+  }
+}
+
+#endif  // LOOM_WIRE_HAS_PROCESS
+
 }  // namespace
 
 std::vector<PropertyPlan> compile_property_plans(
@@ -571,24 +787,15 @@ std::vector<CampaignResult> run_campaigns(
   }
 
   std::vector<ShardOutcome> outcomes(shards.size());
-  std::optional<SeedTraceCache> trace_cache;
-  if (options.reuse_traces) trace_cache.emplace(/*shard_count=*/4 * threads);
-  SeedTraceCache* cache = trace_cache ? &*trace_cache : nullptr;
-  if (threads <= 1 || shards.size() <= 1) {
-    UnitScratch scratch;  // one worker: the caller's thread
-    for (std::size_t i = 0; i < shards.size(); ++i) {
-      run_shard(jobs, ab, options, shards[i], cache, scratch, outcomes[i]);
-    }
+  if (options.workers > 0 && !shards.empty()) {
+#if LOOM_WIRE_HAS_PROCESS
+    run_shards_cross_process(jobs, ab, options, shards, outcomes);
+#else
+    throw WorkerFailure(
+        "cross-process campaign: no process support on this platform");
+#endif
   } else {
-    support::ThreadPool pool(std::min(threads, shards.size()));
-    pool.for_each_index(shards.size(), [&](std::size_t i) {
-      // One arena per worker thread, reused across every shard the worker
-      // happens to run (and across campaigns on the caller's thread): the
-      // buffers' capacity ratchets, while run_shard scopes the pooled
-      // instances so the scratch never outlives anything it borrows.
-      static thread_local UnitScratch scratch;
-      run_shard(jobs, ab, options, shards[i], cache, scratch, outcomes[i]);
-    });
+    run_shards_in_process(jobs, ab, options, shards, threads, outcomes);
   }
 
   // Merge in shard-index order, one pass over the shards.  Every reduction
@@ -644,6 +851,170 @@ CampaignResult run_campaign(const spec::Property& property,
                             spec::Alphabet& ab,
                             const CampaignOptions& options) {
   return run_campaigns({&property}, ab, options)[0];
+}
+
+int run_campaign_worker(int in_fd, int out_fd) {
+#if !LOOM_WIRE_HAS_PROCESS
+  (void)in_fd;
+  (void)out_fd;
+  return kWorkerExitBadRequest;
+#else
+  wire::ignore_sigpipe();
+  wire::Encoder enc;
+  std::vector<std::uint8_t> framed;
+  const auto send = [&](wire::Payload tag) {
+    framed.clear();
+    wire::write_frame(framed, tag, enc);
+    return wire::write_all(out_fd, framed.data(), framed.size());
+  };
+  const auto send_error = [&](const std::string& message) {
+    enc.clear();
+    wire::encode_worker_error(enc, message);
+    send(wire::Payload::WorkerError);
+  };
+
+  // One request frame, fully read and validated before anything is sent
+  // back (the other half of the protocol's no-deadlock argument).
+  wire::FdFrameReader reader(in_fd);
+  wire::Frame frame;
+  wire::DecodeError err;
+  const auto st = reader.next(frame, err);
+  if (st != wire::FdFrameReader::Status::Frame) {
+    send_error(st == wire::FdFrameReader::Status::Eof
+                   ? "worker: no request frame before EOF"
+                   : "worker: " + err.to_string());
+    return kWorkerExitBadRequest;
+  }
+  if (frame.tag != wire::Payload::WorkerRequest) {
+    send_error(std::string("worker: expected a WorkerRequest frame, got ") +
+               wire::to_string(frame.tag));
+    return kWorkerExitBadRequest;
+  }
+  wire::WorkerRequestData req;
+  {
+    wire::Decoder d(frame.data, frame.size);
+    if (!wire::decode_worker_request(d, req)) {
+      send_error("worker: " + d.error().to_string());
+      return kWorkerExitBadRequest;
+    }
+    if (!d.exhausted()) {
+      send_error("worker: trailing bytes after the request payload");
+      return kWorkerExitBadRequest;
+    }
+  }
+
+  try {
+    // Reproduce the parent's interning: declaring the names in id order
+    // yields identical dense ids, so traces, plans and coverage rows agree
+    // bit for bit across the process boundary.
+    spec::Alphabet ab;
+    for (std::size_t i = 0; i < req.names.size(); ++i) {
+      switch (req.directions[i]) {
+        case 0: ab.input(req.names[i]); break;
+        case 1: ab.output(req.names[i]); break;
+        default: ab.name(req.names[i]); break;
+      }
+    }
+    // Re-parse the normalized property texts — the same to_string/parse
+    // round-trip the cross-campaign plan cache keys on.
+    std::vector<spec::Property> props;
+    props.reserve(req.properties.size());
+    for (const auto& text : req.properties) {
+      support::DiagnosticSink sink;
+      auto p = spec::parse_property(text, ab, sink);
+      if (!p) {
+        send_error("worker: property '" + text + "': " + sink.to_string());
+        return kWorkerExitBadProperty;
+      }
+      props.push_back(std::move(*p));
+    }
+
+    const CampaignOptions& options = req.options;  // workers already zeroed
+    const std::size_t units_per_job = options.seeds * kSlotsPerSeed;
+    std::vector<Shard> shards;
+    shards.reserve(req.shards.size());
+    for (const auto& s : req.shards) {
+      if (s.job >= props.size() || s.unit_begin > s.unit_end ||
+          s.unit_end > units_per_job) {
+        send_error("worker: shard assignment out of range");
+        return kWorkerExitBadRequest;
+      }
+      shards.push_back({static_cast<std::size_t>(s.job),
+                        static_cast<std::size_t>(s.unit_begin),
+                        static_cast<std::size_t>(s.unit_end)});
+    }
+
+    // The same serial setup run_campaigns does, then the assigned shards
+    // on the in-process engine (this worker's own threads / trace cache).
+    pre_intern_stimuli_names(ab, options.stimuli);
+    std::vector<const spec::Property*> prop_ptrs;
+    prop_ptrs.reserve(props.size());
+    for (const auto& p : props) prop_ptrs.push_back(&p);
+    const std::vector<PropertyPlan> plans =
+        compile_property_plans(prop_ptrs, ab, options);
+    std::vector<CampaignJob> jobs(props.size());
+    for (std::size_t p = 0; p < props.size(); ++p) {
+      jobs[p].property = prop_ptrs[p];
+      jobs[p].plan = &plans[p];
+      jobs[p].index = p;
+    }
+    const std::size_t threads =
+        options.threads != 0
+            ? options.threads
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    std::vector<ShardOutcome> outcomes(shards.size());
+    run_shards_in_process(jobs, ab, options, shards, threads, outcomes);
+
+    // One partial frame per shard, in assignment order, then Done.
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      wire::WorkerPartialData part;
+      part.shard = req.shards[i].shard;
+      part.job = req.shards[i].job;
+      part.partial = outcomes[i].partial;
+      if (outcomes[i].alphabet) {
+        part.alphabet_seen.assign(ab.size(), false);
+        outcomes[i].alphabet->seen().for_each([&](std::size_t n) {
+          if (n < part.alphabet_seen.size()) part.alphabet_seen[n] = true;
+        });
+      }
+      if (outcomes[i].recognizer) {
+        part.has_recognizer = true;
+        part.recognizer_rows = outcomes[i].recognizer->per_fragment();
+      }
+      enc.clear();
+      wire::encode_worker_partial(enc, part);
+      framed.clear();
+      wire::write_frame(framed, wire::Payload::WorkerPartial, enc);
+      if (i == 0 && options.worker_fault != WorkerFault::None) {
+        // Deterministic protocol violations (campaign_worker_fault_test):
+        // each fault corrupts exactly the first partial frame.
+        switch (options.worker_fault) {
+          case WorkerFault::CorruptFrame:
+            framed[0] ^= 0xFF;  // magic byte: the parent must reject this
+            break;
+          case WorkerFault::FutureVersion:
+            framed[4] = wire::kWireVersion + 1;
+            break;
+          case WorkerFault::DieMidStream: {
+            wire::write_all(out_fd, framed.data(), framed.size() / 2);
+            return kWorkerExitIo;
+          }
+          case WorkerFault::None: break;
+        }
+      }
+      if (!wire::write_all(out_fd, framed.data(), framed.size())) {
+        return kWorkerExitIo;
+      }
+    }
+    enc.clear();
+    wire::encode_worker_done(enc, shards.size());
+    if (!send(wire::Payload::WorkerDone)) return kWorkerExitIo;
+    return kWorkerExitOk;
+  } catch (const std::exception& e) {
+    send_error(std::string("worker: ") + e.what());
+    return kWorkerExitBadRequest;
+  }
+#endif  // LOOM_WIRE_HAS_PROCESS
 }
 
 std::vector<CampaignResult::DiagnosticCounter>

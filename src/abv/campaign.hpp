@@ -29,6 +29,7 @@
 //! same counts, same coverage ratios, same report text.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,17 @@
 #include "mon/stats.hpp"
 
 namespace loom::abv {
+
+/// Test-only misbehavior injection for the cross-process worker protocol
+/// (tests/campaign_worker_fault_test.cpp): a faulted worker deliberately
+/// violates the wire contract so the parent's failure handling can be
+/// pinned.  Always None in real runs.
+enum class WorkerFault : std::uint8_t {
+  None = 0,
+  CorruptFrame,   // emit one partial frame with a corrupted header
+  DieMidStream,   // exit after writing half a frame
+  FutureVersion,  // stamp a future wire-format version on one frame
+};
 
 struct CampaignOptions {
   std::uint64_t first_seed = 1;
@@ -111,6 +123,28 @@ struct CampaignOptions {
   /// rung spacing): smaller strides skip more prefix per mutant but store
   /// more snapshots per seed.  0 disables the ladder (full replay).
   std::size_t checkpoint_stride = 32;
+
+  /// Cross-process sharding: 0 runs every shard in this process (threads
+  /// decide the parallelism as before); N > 0 spawns N worker subprocesses
+  /// speaking the versioned wire format (src/wire/) over pipes, each
+  /// running a round-robin slice of the same shard layout and returning
+  /// wire-encoded partial results that merge through the same reduction.
+  /// The sixth differential invariant — in-process ≡ cross-process, locked
+  /// by campaign_process_diff_test — makes this knob result-neutral like
+  /// the others, with one documented exception: the trace-cache hit/miss
+  /// *diagnostics* become per-process (a seed split across workers misses
+  /// once per worker), which report() and the semantic result never see.
+  /// A worker failure (death, corrupt frame, foreign version) raises
+  /// WorkerFailure; nothing partial is ever merged.
+  std::size_t workers = 0;
+  /// How to start a worker: an argv to exec (e.g. {"loomcheck",
+  /// "--worker"}; the child speaks wire on stdin/stdout), or empty to
+  /// fork without exec — the child runs run_campaign_worker in-image,
+  /// which is what tests and single-binary embedders use.
+  std::vector<std::string> worker_command;
+  /// See WorkerFault; forwarded to workers so tests can inject protocol
+  /// violations deterministically.
+  WorkerFault worker_fault = WorkerFault::None;
 
   /// Optional cross-campaign plan cache (borrowed; must outlive the call):
   /// when set, compile_property_plans() memoizes each property's
@@ -268,5 +302,28 @@ CampaignResult run_campaign(const spec::Property& property,
 std::vector<CampaignResult> run_campaigns(
     const std::vector<const spec::Property*>& properties, spec::Alphabet& ab,
     const CampaignOptions& options);
+
+/// Raised by run_campaign(s) when a worker subprocess dies, corrupts its
+/// stream or violates the wire protocol.  The message carries the worker
+/// index plus the positioned wire diagnostic or exit description; no
+/// partial results from any worker have been merged when this throws.
+struct WorkerFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Worker-process exit codes (pinned by campaign_worker_fault_test; part
+/// of the protocol like the frame layout).
+constexpr int kWorkerExitOk = 0;           // Done frame sent, stream clean
+constexpr int kWorkerExitBadRequest = 3;   // malformed/missing request frame
+constexpr int kWorkerExitBadProperty = 4;  // property text failed to parse
+constexpr int kWorkerExitIo = 5;           // pipe write failed mid-stream
+
+/// The worker side of cross-process sharding: reads one WorkerRequest
+/// frame from `in_fd`, runs the assigned shards with the in-process
+/// engine, writes one WorkerPartial frame per shard plus a WorkerDone
+/// trailer to `out_fd`, and returns an exit code.  `loomcheck --worker`
+/// and the fork-only child both land here; tests call it directly on
+/// pipes to pin the exit codes.
+int run_campaign_worker(int in_fd, int out_fd);
 
 }  // namespace loom::abv

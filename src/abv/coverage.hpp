@@ -49,6 +49,9 @@ class AlphabetCoverage {
   /// Order-independent union with another shard's coverage of the same
   /// alphabet (campaign shards each record into their own instance).
   void merge(const AlphabetCoverage& other) { seen_ |= other.seen_; }
+  /// The observed subset (always ⊆ the alphabet): what a worker process
+  /// ships over the wire — the parent replays it through record().
+  const spec::NameSet& seen() const { return seen_; }
   std::string report(const spec::Alphabet& ab) const;
 
  private:
@@ -60,7 +63,23 @@ class AlphabetCoverage {
 /// every observed event.
 class RecognizerCoverage {
  public:
+  /// One range recognizer's coverage row: which of its six states were
+  /// visited (bit per RangeRecognizer::State) and the longest block seen,
+  /// against the plan's [lo, hi] bounds.  Public because the wire codec
+  /// ships these rows verbatim between worker and parent processes.
+  struct RangeCov {
+    spec::Name name = spec::kInvalidName;
+    std::uint8_t state_mask = 0;
+    std::uint32_t max_count = 0;
+    std::uint32_t lo = 1, hi = 1;
+  };
+
   explicit RecognizerCoverage(const mon::AntecedentMonitor& monitor);
+
+  /// Rebuilds a detached instance from wire-decoded rows (sample() is
+  /// unavailable; merge() and every accessor work).
+  explicit RecognizerCoverage(std::vector<std::vector<RangeCov>> rows)
+      : monitor_(nullptr), per_fragment_(std::move(rows)) {}
 
   void sample();
 
@@ -82,13 +101,12 @@ class RecognizerCoverage {
 
   std::string report(const spec::Alphabet& ab) const;
 
+  /// Row access for the wire codec (fragment-major, recognizer-minor).
+  const std::vector<std::vector<RangeCov>>& per_fragment() const {
+    return per_fragment_;
+  }
+
  private:
-  struct RangeCov {
-    spec::Name name = spec::kInvalidName;
-    std::uint8_t state_mask = 0;  // bit per RangeRecognizer::State
-    std::uint32_t max_count = 0;
-    std::uint32_t lo = 1, hi = 1;
-  };
   const mon::AntecedentMonitor* monitor_;
   std::vector<std::vector<RangeCov>> per_fragment_;
 };

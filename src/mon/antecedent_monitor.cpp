@@ -9,7 +9,7 @@ namespace loom::mon {
 namespace {
 // Format tag: a snapshot written by one monitor kind must never restore
 // into another (the state layouts differ silently otherwise).
-constexpr std::uint64_t kSnapshotTag = 0x414E5443;  // "ANTC"
+constexpr std::uint32_t kSnapshotKind = 0x414E5443;  // "ANTC"
 }  // namespace
 
 AntecedentMonitor::AntecedentMonitor(spec::Antecedent property)
@@ -83,7 +83,7 @@ void AntecedentMonitor::reset() {
 
 void AntecedentMonitor::snapshot(Snapshot& out) const {
   out.clear();
-  out.put_u64(kSnapshotTag);
+  out.put_u64(snapshot_tag(kSnapshotKind));
   stats_.snapshot(out);
   recognizer_.snapshot(out);
   out.put_u64(static_cast<std::uint64_t>(verdict_));
@@ -94,10 +94,7 @@ void AntecedentMonitor::snapshot(Snapshot& out) const {
 
 void AntecedentMonitor::restore(const Snapshot& in) {
   SnapshotReader r(in);
-  if (r.u64() != kSnapshotTag) {
-    throw std::logic_error(
-        "AntecedentMonitor::restore: snapshot of a different monitor kind");
-  }
+  check_snapshot_tag(r.u64(), kSnapshotKind, "AntecedentMonitor::restore");
   stats_.restore(r);
   recognizer_.restore(r);
   verdict_ = static_cast<Verdict>(r.u64());

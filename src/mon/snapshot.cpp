@@ -4,6 +4,20 @@
 
 namespace loom::mon {
 
+void check_snapshot_tag(std::uint64_t word, std::uint32_t kind,
+                        const char* who) {
+  if (snapshot_tag_kind(word) != kind) {
+    throw std::logic_error(std::string(who) +
+                           ": snapshot of a different monitor kind");
+  }
+  if (snapshot_tag_version(word) != kSnapshotVersion) {
+    throw std::logic_error(
+        std::string(who) + ": snapshot format version " +
+        std::to_string(snapshot_tag_version(word)) +
+        ", this build reads version " + std::to_string(kSnapshotVersion));
+  }
+}
+
 void Snapshot::put_string(const std::string& s) {
   if (strings_used_ == strings_.size()) {
     strings_.emplace_back(s);

@@ -34,6 +34,32 @@ namespace loom::mon {
 
 class SnapshotReader;
 
+/// Snapshot format version, stamped into the high half of every monitor's
+/// tag word.  Bump on any layout change to a monitor's snapshot order; a
+/// restore (or wire decode) of a snapshot from a different version rejects
+/// with a clear diagnostic instead of misreading the words.
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// The tag word each monitor writes first: (version << 32) | kind, where
+/// `kind` is the monitor's four-byte ASCII constant (e.g. "ANTC").
+constexpr std::uint64_t snapshot_tag(std::uint32_t kind) {
+  return (std::uint64_t{kSnapshotVersion} << 32) | kind;
+}
+
+constexpr std::uint32_t snapshot_tag_kind(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word);
+}
+constexpr std::uint32_t snapshot_tag_version(std::uint64_t word) {
+  return static_cast<std::uint32_t>(word >> 32);
+}
+
+/// Restore-side tag validation: throws std::logic_error naming `who` with
+/// a kind-mismatch diagnostic (foreign monitor kind) or a version
+/// diagnostic (future or past format), so both failure modes read clearly
+/// in test output and worker error frames.
+void check_snapshot_tag(std::uint64_t word, std::uint32_t kind,
+                        const char* who);
+
 class Snapshot {
  public:
   /// Forgets the content, keeps every capacity (words and string slots):
@@ -45,6 +71,16 @@ class Snapshot {
 
   bool empty() const { return words_.empty() && strings_used_ == 0; }
   std::size_t word_count() const { return words_.size(); }
+
+  /// Raw word access for the wire codec (and the version-forgery tests):
+  /// a Snapshot is semantically the word sequence plus the string pool, so
+  /// serializing one is exactly these two views.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::size_t string_count() const { return strings_used_; }
+  const std::string& string_at(std::size_t i) const { return strings_[i]; }
+  /// Overwrites one word in place (tests forge tag words with this; the
+  /// wire decoder never needs it).
+  void set_word(std::size_t i, std::uint64_t v) { words_[i] = v; }
 
   void put_u64(std::uint64_t v) { words_.push_back(v); }
   void put_bool(bool b) { words_.push_back(b ? 1 : 0); }

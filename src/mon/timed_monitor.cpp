@@ -8,7 +8,7 @@
 namespace loom::mon {
 namespace {
 // Format tag (see antecedent_monitor.cpp): kind-checks restore().
-constexpr std::uint64_t kSnapshotTag = 0x54494D44;  // "TIMD"
+constexpr std::uint32_t kSnapshotKind = 0x54494D44;  // "TIMD"
 }  // namespace
 
 TimedImplicationMonitor::TimedImplicationMonitor(spec::TimedImplication property)
@@ -148,7 +148,7 @@ void TimedImplicationMonitor::reset() {
 
 void TimedImplicationMonitor::snapshot(Snapshot& out) const {
   out.clear();
-  out.put_u64(kSnapshotTag);
+  out.put_u64(snapshot_tag(kSnapshotKind));
   stats_.snapshot(out);
   recognizer_.snapshot(out);
   out.put_u64(static_cast<std::uint64_t>(verdict_));
@@ -163,11 +163,8 @@ void TimedImplicationMonitor::snapshot(Snapshot& out) const {
 
 void TimedImplicationMonitor::restore(const Snapshot& in) {
   SnapshotReader r(in);
-  if (r.u64() != kSnapshotTag) {
-    throw std::logic_error(
-        "TimedImplicationMonitor::restore: snapshot of a different monitor "
-        "kind");
-  }
+  check_snapshot_tag(r.u64(), kSnapshotKind,
+                     "TimedImplicationMonitor::restore");
   stats_.restore(r);
   recognizer_.restore(r);
   verdict_ = static_cast<Verdict>(r.u64());

@@ -17,7 +17,7 @@ namespace loom::mon {
 namespace {
 
 // Format tag (see antecedent_monitor.cpp): kind-checks restore().
-constexpr std::uint64_t kSnapshotTag = 0x564D4652;  // "VMFR"
+constexpr std::uint32_t kSnapshotKind = 0x564D4652;  // "VMFR"
 
 // The range automaton's states — values match RangeRecognizer::State so a
 // frame dump reads the same as a recognizer dump.
@@ -576,7 +576,7 @@ std::optional<sim::Time> VmMonitor::deadline() const {
 
 void VmMonitor::snapshot(Snapshot& out) const {
   out.clear();
-  out.put_u64(kSnapshotTag);
+  out.put_u64(snapshot_tag(kSnapshotKind));
   // Shape guard: a snapshot only restores into an instance of the same
   // program shape (cf. ClauseMonitor's clause-count check).
   out.put_u64(program_->range_total);
@@ -605,10 +605,7 @@ void VmMonitor::snapshot(Snapshot& out) const {
 
 void VmMonitor::restore(const Snapshot& in) {
   SnapshotReader r(in);
-  if (r.u64() != kSnapshotTag) {
-    throw std::logic_error(
-        "VmMonitor::restore: snapshot of a different monitor kind");
-  }
+  check_snapshot_tag(r.u64(), kSnapshotKind, "VmMonitor::restore");
   if (r.u64() != program_->range_total || r.u64() != program_->frag_count) {
     throw std::logic_error(
         "VmMonitor::restore: snapshot of a different program shape");

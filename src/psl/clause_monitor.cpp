@@ -8,7 +8,7 @@
 namespace loom::psl {
 namespace {
 // Format tag (see mon/antecedent_monitor.cpp): kind-checks restore().
-constexpr std::uint64_t kSnapshotTag = 0x434C4155;  // "CLAU"
+constexpr std::uint32_t kSnapshotKind = 0x434C4155;  // "CLAU"
 }  // namespace
 
 ClauseMonitor::ClauseMonitor(Encoding encoding)
@@ -233,7 +233,7 @@ void ClauseMonitor::reset() {
 
 void ClauseMonitor::snapshot(mon::Snapshot& out) const {
   out.clear();
-  out.put_u64(kSnapshotTag);
+  out.put_u64(mon::snapshot_tag(kSnapshotKind));
   stats_.snapshot(out);
   lexer_.snapshot(out);
   out.put_bits(armed_);
@@ -251,10 +251,7 @@ void ClauseMonitor::snapshot(mon::Snapshot& out) const {
 
 void ClauseMonitor::restore(const mon::Snapshot& in) {
   mon::SnapshotReader r(in);
-  if (r.u64() != kSnapshotTag) {
-    throw std::logic_error(
-        "ClauseMonitor::restore: snapshot of a different monitor kind");
-  }
+  mon::check_snapshot_tag(r.u64(), kSnapshotKind, "ClauseMonitor::restore");
   stats_.restore(r);
   lexer_.restore(r);
   r.bits_into(armed_);

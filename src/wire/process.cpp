@@ -1,0 +1,211 @@
+#include "wire/process.hpp"
+
+#if LOOM_WIRE_HAS_PROCESS
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace loom::wire {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+long read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, out + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<long>(got);
+}
+
+void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept {
+  *this = std::move(other);
+}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this == &other) return *this;
+  close_to_child();
+  close_from_child();
+  pid = other.pid;
+  to_child = other.to_child;
+  from_child = other.from_child;
+  index = other.index;
+  waited_ = other.waited_;
+  status_ = other.status_;
+  other.pid = -1;
+  other.to_child = -1;
+  other.from_child = -1;
+  return *this;
+}
+
+WorkerProcess::~WorkerProcess() {
+  close_to_child();
+  close_from_child();
+}
+
+void WorkerProcess::close_to_child() {
+  if (to_child >= 0) ::close(to_child);
+  to_child = -1;
+}
+
+void WorkerProcess::close_from_child() {
+  if (from_child >= 0) ::close(from_child);
+  from_child = -1;
+}
+
+int WorkerProcess::wait() {
+  if (!waited_ && pid > 0) {
+    int status = 0;
+    while (::waitpid(static_cast<pid_t>(pid), &status, 0) < 0) {
+      if (errno != EINTR) {
+        status = 0;
+        break;
+      }
+    }
+    status_ = status;
+    waited_ = true;
+  }
+  return status_;
+}
+
+WorkerProcess spawn_worker(const std::vector<std::string>& argv,
+                           const std::function<int(int, int)>& child_main,
+                           std::size_t index) {
+  int to_child[2];    // parent writes [1], child reads [0]
+  int from_child[2];  // child writes [1], parent reads [0]
+  if (::pipe(to_child) != 0) {
+    throw std::runtime_error(std::string("pipe failed: ") +
+                             std::strerror(errno));
+  }
+  if (::pipe(from_child) != 0) {
+    const int saved = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    throw std::runtime_error(std::string("pipe failed: ") +
+                             std::strerror(saved));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(saved));
+  }
+  if (pid == 0) {
+    // Child.  Close the parent's ends first so EOF propagates.
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    if (argv.empty()) {
+      // Fork-only mode: run the worker loop in this image and leave via
+      // _exit — no destructors, no atexit; the parent's state must not be
+      // torn down twice.
+      int code = 127;
+      if (child_main) code = child_main(to_child[0], from_child[1]);
+      ::_exit(code);
+    }
+    // Exec mode: the worker speaks wire on stdin/stdout.
+    if (::dup2(to_child[0], STDIN_FILENO) < 0 ||
+        ::dup2(from_child[1], STDOUT_FILENO) < 0) {
+      ::_exit(126);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);  // exec failed
+  }
+  // Parent.
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  WorkerProcess w;
+  w.pid = pid;
+  w.to_child = to_child[1];
+  w.from_child = from_child[0];
+  w.index = index;
+  return w;
+}
+
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with code " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "killed by signal " + std::to_string(WTERMSIG(status));
+  }
+  return "ended with wait status " + std::to_string(status);
+}
+
+int exit_code(int status) {
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+FdFrameReader::Status FdFrameReader::next(Frame& frame, DecodeError& err) {
+  std::uint8_t header[kFrameHeaderBytes];
+  const long got = read_exact(fd_, header, sizeof header);
+  if (got == 0) return Status::Eof;
+  if (got < 0 || static_cast<std::size_t>(got) != sizeof header) {
+    err.offset = got < 0 ? 0 : static_cast<std::size_t>(got);
+    err.message = got < 0 ? "pipe read failed"
+                          : "stream ended inside a frame header (" +
+                                std::to_string(got) + " of 16 bytes)";
+    return Status::Error;
+  }
+  FrameHeader h;
+  if (!parse_frame_header(header, sizeof header, h, err)) {
+    return Status::Error;
+  }
+  // parse_frame_header already capped the length at kMaxFrameBytes, so
+  // this resize is bounded; the buffer's capacity survives across frames.
+  payload_.resize(static_cast<std::size_t>(h.length));
+  if (h.length > 0) {
+    const long body = read_exact(fd_, payload_.data(), payload_.size());
+    if (body < 0 || static_cast<std::size_t>(body) != payload_.size()) {
+      err.offset =
+          kFrameHeaderBytes + (body < 0 ? 0 : static_cast<std::size_t>(body));
+      err.message = body < 0 ? "pipe read failed"
+                             : "stream ended inside a frame payload (" +
+                                   std::to_string(body) + " of " +
+                                   std::to_string(payload_.size()) +
+                                   " bytes)";
+      return Status::Error;
+    }
+  }
+  ++frames_read_;
+  frame.tag = h.tag;
+  frame.data = payload_.data();
+  frame.size = payload_.size();
+  return Status::Frame;
+}
+
+}  // namespace loom::wire
+
+#endif  // LOOM_WIRE_HAS_PROCESS

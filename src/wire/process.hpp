@@ -1,0 +1,116 @@
+//! POSIX plumbing for cross-process campaign workers: pipe pairs, worker
+//! spawning (fork-only or fork+exec), exact-length pipe I/O and a buffered
+//! frame reader over a file descriptor.
+//!
+//! Everything here is mechanism; the protocol (who writes which frames
+//! when) lives in abv/campaign.cpp.  The reader reuses its header and
+//! payload buffers across frames, so a parent draining thousands of
+//! partial frames allocates only while a frame grows past every earlier
+//! one — the mon::Snapshot reuse discipline applied to pipes.
+//!
+//! Ownership: WorkerProcess owns its two descriptors until close_fds() or
+//! wait(); the destructor closes leaked descriptors but never waits (a
+//! parent must reap explicitly so exit codes are observed, not lost).
+//! Platform: POSIX only (fork/pipe/waitpid); LOOM_WIRE_HAS_PROCESS tells
+//! callers whether cross-process mode exists in this build.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wire/wire.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LOOM_WIRE_HAS_PROCESS 1
+#else
+#define LOOM_WIRE_HAS_PROCESS 0
+#endif
+
+namespace loom::wire {
+
+#if LOOM_WIRE_HAS_PROCESS
+
+/// Writes all `n` bytes (restarting on EINTR / short writes); false on any
+/// write error — e.g. EPIPE after the reader died, which the campaign
+/// driver turns into a WorkerFailure instead of a SIGPIPE kill (it ignores
+/// the signal around worker I/O).
+bool write_all(int fd, const std::uint8_t* data, std::size_t n);
+
+/// Reads exactly `n` bytes.  Returns n on success, 0 on clean EOF before
+/// the first byte, and the short count on EOF mid-read; -1 on a read
+/// error.  Restarts on EINTR.
+long read_exact(int fd, std::uint8_t* out, std::size_t n);
+
+/// Makes SIGPIPE a visible write error (EPIPE) instead of a process kill
+/// for the whole program; idempotent.
+void ignore_sigpipe();
+
+/// One spawned worker: its pid plus the parent's two pipe ends.
+struct WorkerProcess {
+  long pid = -1;
+  int to_child = -1;    // parent writes the request frame here
+  int from_child = -1;  // parent reads partial/done/error frames here
+  /// Index in the parent's worker list (diagnostics only).
+  std::size_t index = 0;
+
+  WorkerProcess() = default;
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  ~WorkerProcess();
+
+  void close_to_child();
+  void close_from_child();
+
+  /// waitpid for this worker; returns the raw wait status (idempotent —
+  /// later calls return the first status).
+  int wait();
+
+ private:
+  bool waited_ = false;
+  int status_ = 0;
+};
+
+/// Spawns one worker.  With a non-empty `argv` the child execs it with the
+/// pipes dup2'd onto stdin/stdout (the `loomcheck --worker` path).  With
+/// an empty `argv` the child never execs: it runs `child_main(read_fd,
+/// write_fd)` in the forked image and _exit()s with its return value —
+/// the single-binary path tests use.  Throws std::runtime_error when the
+/// pipes or the fork itself fail.
+WorkerProcess spawn_worker(const std::vector<std::string>& argv,
+                           const std::function<int(int, int)>& child_main,
+                           std::size_t index);
+
+/// Renders a waitpid status ("exited with code 5", "killed by signal 9")
+/// for WorkerFailure messages; exit_code() extracts the code, -1 when the
+/// worker died of a signal instead of exiting.
+std::string describe_wait_status(int status);
+int exit_code(int status);
+
+/// Reads length-prefixed frames off a descriptor, one at a time, into
+/// capacity-reusing buffers.  The Frame view returned by next() is valid
+/// until the following next() call.
+class FdFrameReader {
+ public:
+  explicit FdFrameReader(int fd) : fd_(fd) {}
+
+  enum class Status {
+    Frame,  // `frame` holds a validated frame
+    Eof,    // clean end of stream at a frame boundary
+    Error,  // `err` holds the positioned diagnostic
+  };
+
+  Status next(Frame& frame, DecodeError& err);
+
+ private:
+  int fd_;
+  std::vector<std::uint8_t> payload_;
+  std::uint64_t frames_read_ = 0;
+};
+
+#endif  // LOOM_WIRE_HAS_PROCESS
+
+}  // namespace loom::wire

@@ -20,6 +20,8 @@
 #include "psl/clause_monitor.hpp"
 #include "support/rng.hpp"
 #include "testing.hpp"
+#include "wire/payload.hpp"
+#include "wire/wire.hpp"
 
 namespace loom::mon {
 namespace {
@@ -338,6 +340,111 @@ TEST(MonSnapshot, VmFrameBufferReuseKeepsWordCountsStable) {
     const std::size_t expected =
         fresh_words + (monitor->violation().has_value() ? 3u : 0u);
     EXPECT_EQ(snap.word_count(), expected);
+  }
+}
+
+TEST(MonSnapshot, RestoreRejectsAFutureFormatVersionByName) {
+  // A snapshot whose tag word carries a future format version — same
+  // monitor kind, newer layout — must be refused by every monitor kind's
+  // restore() with a diagnostic naming both versions, not misread.  The
+  // forgery flips only the version half of the tag word, so the rejection
+  // is provably the version check, not the kind check.
+  spec::Alphabet ab;
+  const spec::Property ante = loom::testing::parse("(n << i, true)", ab);
+  const spec::Property timed =
+      loom::testing::parse("(p[2,3] => q[1,4] < r, 10us)", ab);
+  CompileOptions vm_opt;
+  vm_opt.backend = Backend::Vm;
+  const CompiledProperty vm_ante = CompiledProperty::compile(ante, ab, vm_opt);
+  const auto encoding = std::make_shared<const psl::Encoding>(
+      psl::encode(ante, 2000000, &ab));
+
+  struct Kind {
+    const char* label;
+    std::unique_ptr<Monitor> monitor;
+  };
+  Kind kinds[4] = {
+      {"antecedent", make_monitor(ante)},
+      {"timed", make_monitor(timed)},
+      {"viapsl", std::make_unique<psl::ClauseMonitor>(encoding)},
+      {"vm", vm_ante.instantiate()},
+  };
+  for (auto& kind : kinds) {
+    Snapshot snap;
+    kind.monitor->snapshot(snap);
+    ASSERT_GT(snap.word_count(), 0u) << kind.label;
+    const std::uint64_t tag = snap.words()[0];
+    ASSERT_EQ(snapshot_tag_version(tag), kSnapshotVersion) << kind.label;
+    snap.set_word(0, (std::uint64_t{kSnapshotVersion + 1} << 32) |
+                         snapshot_tag_kind(tag));
+    try {
+      kind.monitor->restore(snap);
+      FAIL() << kind.label << ": future-version snapshot was accepted";
+    } catch (const std::logic_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("snapshot format version 2"), std::string::npos)
+          << kind.label << ": " << what;
+      EXPECT_NE(what.find("reads version 1"), std::string::npos)
+          << kind.label << ": " << what;
+    }
+    // The same forged snapshot through the wire decoder: rejected with a
+    // positioned diagnostic (the pipe-facing twin of the restore() throw),
+    // so a future-version snapshot cannot even enter a parent process.
+    wire::Encoder enc;
+    wire::encode_snapshot(enc, snap);
+    Snapshot decoded;
+    wire::Decoder d(enc.bytes());
+    EXPECT_FALSE(wire::decode_snapshot(d, decoded)) << kind.label;
+    EXPECT_FALSE(d.ok()) << kind.label;
+    EXPECT_NE(d.error().message.find("snapshot format version 2"),
+              std::string::npos)
+        << kind.label << ": " << d.error().to_string();
+  }
+}
+
+TEST(MonSnapshot, WirePathReusesBuffersLikeTheInMemoryPath) {
+  // The wire crossing must keep the snapshot pool discipline: one Encoder,
+  // one decode-target Snapshot and one source buffer serve a whole fuzzed
+  // run without the encoder's buffer growing past its warmed capacity and
+  // with the decoded word counts tracking the in-memory counts exactly.
+  spec::Alphabet ab;
+  const spec::Property p = loom::testing::parse(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)", ab);
+  const auto names = names_of(p, ab);
+  auto monitor = make_monitor(p);
+  support::Rng rng = support::Rng::stream(9, 7);
+  const spec::Trace trace = fuzz_trace(names, rng);
+
+  Snapshot snap;
+  Snapshot decoded;
+  wire::Encoder enc;
+  // Warm-up pass: replay the whole trace once so the encoder has seen the
+  // largest snapshot shape this run produces (a violation report appends
+  // three words plus its reason string).
+  for (const auto& ev : trace) {
+    monitor->observe(ev.name, ev.time);
+    monitor->snapshot(snap);
+    enc.clear();
+    wire::encode_snapshot(enc, snap);
+  }
+  monitor->reset();
+  const std::size_t warm_bytes = enc.bytes().capacity();
+  auto cold = make_monitor(p);
+  for (const auto& ev : trace) {
+    monitor->observe(ev.name, ev.time);
+    monitor->snapshot(snap);
+    enc.clear();
+    wire::encode_snapshot(enc, snap);
+    EXPECT_LE(enc.bytes().capacity(), warm_bytes);
+    wire::Decoder d(enc.bytes());
+    ASSERT_TRUE(wire::decode_snapshot(d, decoded)) << d.error().to_string();
+    EXPECT_TRUE(d.exhausted());
+    EXPECT_EQ(decoded.word_count(), snap.word_count());
+    EXPECT_EQ(decoded.string_count(), snap.string_count());
+    // And the decoded copy is restorable: the wire is not just shuttling
+    // bytes, it is shuttling working monitor state.
+    cold->restore(decoded);
+    expect_same_outcome(*monitor, *cold, "wire-path restore");
   }
 }
 

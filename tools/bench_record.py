@@ -41,10 +41,12 @@ NON_COUNTER_FIELDS = {
 
 # The headline campaign shapes: deterministic fixtures (fixed seeds, fixed
 # unit counts), so every counter in the snapshot is reproducible and only
-# the wall times carry machine noise.
+# the wall times carry machine noise.  BM_WireRoundTrip rides along: the
+# wire codec is the floor under cross-process sharding, so its frame rate
+# and allocs/frame are part of the tracked trajectory.
 CAMPAIGN_FILTER = (
     "^(BM_CampaignMutationHeavy|BM_CampaignIncremental|"
-    "BM_CampaignManyProperties)/"
+    "BM_CampaignManyProperties|BM_WireRoundTrip)/"
 )
 
 # Pinned threads-sweep arguments: 4 threads, 8 seeds, auto backend,
