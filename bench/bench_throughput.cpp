@@ -15,6 +15,7 @@
 #include "abv/campaign.hpp"
 #include "abv/stimuli.hpp"
 #include "wire/payload.hpp"
+#include "wire/process.hpp"
 #include "wire/wire.hpp"
 #include "bench_json.hpp"
 #include "mon/bytecode.hpp"
@@ -434,6 +435,42 @@ void BM_CampaignManyProperties(benchmark::State& state) {
                              : "+cross-campaign plan cache");
 }
 BENCHMARK(BM_CampaignManyProperties)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
+
+#if LOOM_WIRE_HAS_PROCESS
+void BM_WorkerSupervision(benchmark::State& state) {
+  // Prices the supervised drain (poll-multiplexed, nonblocking readers,
+  // per-frame deadlines) against the legacy blocking drain it replaced,
+  // on a clean fork-mode cross-process campaign: arg 0 = legacy
+  // (supervised=false), arg 1 = supervised with a deadline armed.  Same
+  // bits out either way (campaign_supervision_test); the delta is what
+  // the supervision machinery costs when nothing goes wrong.
+  const bool supervised = state.range(0) != 0;
+  Fixture fx(kConfig[2], 4);
+  abv::CampaignOptions opt;
+  opt.seeds = 8;
+  opt.stimuli.rounds = 4;
+  opt.mutants_per_kind = 8;
+  opt.threads = 1;
+  opt.shard_size = 1;
+  opt.workers = 2;
+  opt.supervised = supervised;
+  opt.worker_timeout_ms = supervised ? 10000 : 0;
+  CampaignTally tally;
+  for (auto _ : state) {
+    support::AllocCounter::Scope scope;
+    const abv::CampaignResult r =
+        tally.timed([&] { return abv::run_campaign(fx.property, fx.ab, opt); });
+    tally.allocs += scope.allocs();  // workers' allocations not included
+    tally.units += opt.seeds * 6;
+    tally.absorb(r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tally.monitor_events));
+  tally.report(state);
+  state.SetLabel(supervised ? "supervised drain" : "legacy blocking drain");
+}
+BENCHMARK(BM_WorkerSupervision)->Arg(0)->Arg(1)->UseRealTime();
+#endif  // LOOM_WIRE_HAS_PROCESS
 
 void BM_WireRoundTrip(benchmark::State& state) {
   // The versioned wire codec under cross-process load: Arg 0 frames and

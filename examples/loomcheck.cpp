@@ -48,6 +48,9 @@ constexpr const char* kUsage =
     "  --checkpoint-stride=N       events between snapshot round-trips\n"
     "                              (default 64, N >= 1)\n"
     "  --dot OUT.dot               write the first property's syntax tree\n"
+    "  --worker [--worker-timeout-ms=N]  hidden: speak the campaign worker\n"
+    "                              wire protocol on stdin/stdout; N bounds\n"
+    "                              the wait for the request frame (0 = off)\n"
     "  --help                      print this text and exit\n"
     "\n"
     "exit status: 0 all properties pass, 1 violation found, 2 usage/parse\n"
@@ -96,7 +99,28 @@ int main(int argc, char** argv) {
   // pinned worker codes.  Checked before anything else — a worker must
   // never print usage text into its frame stream.
   if (argc >= 2 && std::strcmp(argv[1], "--worker") == 0) {
-    return abv::run_campaign_worker(0, 1);
+    // Optional request deadline: an exec'd worker whose parent dies before
+    // writing the request frame exits (code 3) instead of blocking on
+    // stdin forever.  Bad values exit 2 like every other flag, but onto
+    // stderr only — the frame stream on stdout stays clean.
+    std::size_t request_timeout_ms = 0;
+    for (int k = 2; k < argc; ++k) {
+      if (std::strncmp(argv[k], "--worker-timeout-ms=", 20) == 0) {
+        const auto parsed = support::parse_nonneg(argv[k] + 20);
+        if (!parsed) {
+          std::fprintf(stderr,
+                       "bad --worker-timeout-ms value (want a count, 0 = "
+                       "off): %s\n",
+                       argv[k] + 20);
+          return 2;
+        }
+        request_timeout_ms = *parsed;
+      } else {
+        std::fprintf(stderr, "unknown --worker option: %s\n", argv[k]);
+        return 2;
+      }
+    }
+    return abv::run_campaign_worker(0, 1, request_timeout_ms);
   }
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--help") == 0) {

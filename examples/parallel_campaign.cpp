@@ -21,7 +21,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: parallel_campaign [threads] [seeds] [auto|drct|viapsl|vm]\n"
     "                         [--incremental=on|off] [--checkpoint-stride=N]\n"
-    "                         [--workers=N]\n"
+    "                         [--workers=N] [--worker-timeout-ms=N]\n"
+    "                         [--worker-retries=N] [--allow-partial=on|off]\n"
     "\n"
     "  threads              worker threads for the parallel run (default:\n"
     "                       hardware concurrency)\n"
@@ -36,6 +37,13 @@ constexpr const char* kUsage =
     "                       subprocesses (exec'd copies of this binary\n"
     "                       speaking the wire format on pipes) and compare\n"
     "                       against the in-process runs (default 0: skip)\n"
+    "  --worker-timeout-ms=N  supervision deadline per worker frame; a\n"
+    "                       worker that stalls longer is killed and retried\n"
+    "                       (default 0: wait forever)\n"
+    "  --worker-retries=N   fresh re-dispatches of a failed worker's shards\n"
+    "                       before giving up (default 0)\n"
+    "  --allow-partial=on|off  absorb exhausted workers as a degraded\n"
+    "                       result instead of failing the run (default off)\n"
     "  --help               print this text and exit\n"
     "\n"
     "exit status: 0 all runs bit-identical, 1 mismatch, 2 usage error.\n";
@@ -59,6 +67,9 @@ int main(int argc, char** argv) {
   bool incremental = true;
   std::size_t checkpoint_stride = 32;
   std::size_t workers = 0;
+  std::size_t worker_timeout_ms = 0;
+  std::size_t worker_retries = 0;
+  bool allow_partial = false;
   std::vector<char*> positional = {argv[0]};
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--help") == 0) {
@@ -71,6 +82,29 @@ int main(int argc, char** argv) {
                            argv[k] + 10);
       }
       workers = *parsed;
+    } else if (std::strncmp(argv[k], "--worker-timeout-ms=", 20) == 0) {
+      const auto parsed = support::parse_nonneg(argv[k] + 20);
+      if (!parsed) {
+        return usage_error(
+            "bad --worker-timeout-ms value (want a count, 0 = off): %s\n",
+            argv[k] + 20);
+      }
+      worker_timeout_ms = *parsed;
+    } else if (std::strncmp(argv[k], "--worker-retries=", 17) == 0) {
+      const auto parsed = support::parse_nonneg(argv[k] + 17);
+      if (!parsed) {
+        return usage_error(
+            "bad --worker-retries value (want a count, 0 = off): %s\n",
+            argv[k] + 17);
+      }
+      worker_retries = *parsed;
+    } else if (std::strncmp(argv[k], "--allow-partial=", 16) == 0) {
+      const auto parsed = support::parse_on_off(argv[k] + 16);
+      if (!parsed) {
+        return usage_error("bad --allow-partial value (want on|off): %s\n",
+                           argv[k] + 16);
+      }
+      allow_partial = *parsed;
     } else if (std::strncmp(argv[k], "--incremental=", 14) == 0) {
       const auto parsed = support::parse_on_off(argv[k] + 14);
       if (!parsed) {
@@ -195,6 +229,9 @@ int main(int argc, char** argv) {
     opt.threads = threads;
     opt.workers = workers;
     opt.worker_command = {argv[0], "--worker"};
+    opt.worker_timeout_ms = worker_timeout_ms;
+    opt.worker_retries = worker_retries;
+    opt.allow_partial = allow_partial;
     const auto begin = std::chrono::steady_clock::now();
     std::vector<abv::CampaignResult> cross;
     try {
@@ -205,16 +242,29 @@ int main(int argc, char** argv) {
     }
     const auto end = std::chrono::steady_clock::now();
     bool cross_identical = true;
+    bool degraded = false;
     for (std::size_t i = 0; i < properties.size(); ++i) {
       cross_identical =
           cross_identical && serial[i].report(ab) == cross[i].report(ab);
+      degraded = degraded || cross[i].degraded();
+    }
+    if (degraded) {
+      // An absorbed worker loss: say which shards never ran (the reports
+      // cannot match the serial leg, so don't count that as the bug).
+      for (std::size_t i = 0; i < properties.size(); ++i) {
+        if (cross[i].degraded()) {
+          std::printf("--- %s (degraded)\n%s\n", sources[i],
+                      cross[i].report(ab).c_str());
+        }
+      }
     }
     std::printf("cross-process: %7.1f ms on %zu workers — %s\n\n",
                 std::chrono::duration<double>(end - begin).count() * 1e3,
                 workers,
-                cross_identical ? "bit-identical to the serial run"
-                                : "MISMATCH (bug!)");
-    identical = identical && cross_identical;
+                degraded         ? "DEGRADED (shards lost, see above)"
+                : cross_identical ? "bit-identical to the serial run"
+                                  : "MISMATCH (bug!)");
+    identical = identical && (cross_identical || degraded);
     opt.workers = 0;
     opt.worker_command.clear();
   }

@@ -1,7 +1,12 @@
 #include "abv/campaign.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <climits>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <optional>
 #include <thread>
 
@@ -15,6 +20,12 @@
 #include "support/trace_cache.hpp"
 #include "wire/payload.hpp"
 #include "wire/process.hpp"
+
+#if LOOM_WIRE_HAS_PROCESS
+#include <csignal>
+#include <poll.h>
+#include <unistd.h>
+#endif
 
 namespace loom::abv {
 namespace {
@@ -532,45 +543,64 @@ void run_shards_in_process(const std::vector<CampaignJob>& jobs,
 
 #if LOOM_WIRE_HAS_PROCESS
 
-// Tears the worker fleet down — both pipe ends closed so a blocked child
-// dies on EOF/EPIPE instead of hanging, every child reaped — and raises
-// WorkerFailure.  Nothing partial has been merged when this throws: the
-// drain loop buffers a worker's partials until its clean Done frame.
-[[noreturn]] void fail_workers(std::vector<wire::WorkerProcess>& procs,
-                               const std::string& message) {
-  for (auto& p : procs) {
-    p.close_to_child();
-    p.close_from_child();
-    p.wait();
+// How long a worker gets between SIGTERM and SIGKILL when the supervisor
+// retires it, and how long a Done-frame worker gets to actually exit.
+constexpr long kKillGraceMs = 500;
+
+// Supervision bookkeeping run_shards_cross_process hands back to
+// run_campaigns: retry counts per property (CampaignResult::worker_retries,
+// an engine diagnostic) and, under allow_partial, the shards that were
+// never executed (CampaignResult::shard_failures, the semantic record of a
+// degraded run).
+struct SupervisionInfo {
+  std::vector<std::size_t> retries_by_job;
+  std::vector<CampaignResult::ShardFailure> failures;
+};
+
+// describe_wait_status plus the pinned exec-failure exit codes: 127 is
+// execvp itself failing (missing or non-executable worker binary), 126 the
+// child's stdin/stdout setup failing before exec — both mean the worker
+// command could not be executed at all, which deserves a plainer sentence
+// than "exited with code 127".
+std::string describe_worker_exit(int status) {
+  std::string text = wire::describe_wait_status(status);
+  const int code = wire::exit_code(status);
+  if (code == kWorkerExitExecMissing) {
+    text +=
+        "; the worker command could not be executed "
+        "(execvp failed: missing or non-executable binary)";
+  } else if (code == kWorkerExitExecSetup) {
+    text +=
+        "; the worker command could not be executed "
+        "(stdin/stdout setup failed before exec)";
   }
-  throw WorkerFailure("cross-process campaign: " + message);
+  return text;
 }
 
-// The parent side of cross-process sharding: spawn options.workers
-// subprocesses, hand each a round-robin slice of the exact shard layout
-// the in-process engine would run, and slot their wire-encoded partial
-// outcomes back into `outcomes` at the same indices — after which the
-// caller's merge loop cannot tell the difference.  That is the sixth
-// differential invariant (campaign_process_diff_test).
-void run_shards_cross_process(const std::vector<CampaignJob>& jobs,
-                              spec::Alphabet& ab,
-                              const CampaignOptions& options,
-                              const std::vector<Shard>& shards,
-                              std::vector<ShardOutcome>& outcomes) {
-  // A worker that died must surface as a write error, not a SIGPIPE kill.
-  wire::ignore_sigpipe();
-  const std::size_t workers = std::min(options.workers, shards.size());
-
-  // Round-robin assignment: shard i runs on worker i % workers.
-  std::vector<std::vector<std::size_t>> assigned(workers);
-  for (std::size_t i = 0; i < shards.size(); ++i) {
-    assigned[i % workers].push_back(i);
+// Slots one verified partial back into `outcomes` at its shard index —
+// after which the merge loop cannot tell it from an in-process outcome.
+void install_partial(const std::vector<CampaignJob>& jobs,
+                     wire::WorkerPartialData& part,
+                     std::vector<ShardOutcome>& outcomes) {
+  ShardOutcome& out = outcomes[static_cast<std::size_t>(part.shard)];
+  out.partial = part.partial;
+  AlphabetCoverage cov(jobs[part.job].property->alphabet());
+  for (std::size_t n = 0; n < part.alphabet_seen.size(); ++n) {
+    if (part.alphabet_seen[n]) cov.record(static_cast<spec::Name>(n));
   }
+  out.alphabet.emplace(std::move(cov));
+  if (part.has_recognizer) {
+    out.recognizer.emplace(std::move(part.recognizer_rows));
+  }
+}
 
-  // The request parts every worker shares: the alphabet's names in id
-  // order (re-interning them in that order reproduces the parent's dense
-  // ids exactly), each property's normalized text, and the options with
-  // workers zeroed — a worker never recursively forks its own fleet.
+// The request parts every worker shares: the alphabet's names in id order
+// (re-interning them in that order reproduces the parent's dense ids
+// exactly), each property's normalized text, and the options with workers
+// zeroed — a worker never recursively forks its own fleet.
+wire::WorkerRequestData make_base_request(const std::vector<CampaignJob>& jobs,
+                                          const spec::Alphabet& ab,
+                                          const CampaignOptions& options) {
   wire::WorkerRequestData base;
   base.names.reserve(ab.size());
   for (std::size_t i = 0; i < ab.size(); ++i) {
@@ -584,14 +614,73 @@ void run_shards_cross_process(const std::vector<CampaignJob>& jobs,
   base.options = options;
   base.options.workers = 0;
   base.options.plan_cache = nullptr;
+  return base;
+}
 
+// Frames one worker's request: the shared base plus its round-robin shard
+// slice.  `clear_fault` builds the retry variant — the supervisor
+// re-dispatches with the fault disarmed, so a retried attempt runs clean
+// (that is what makes faulted-then-retried ≡ clean hold byte for byte).
+std::vector<std::uint8_t> frame_request(
+    const wire::WorkerRequestData& base, const std::vector<std::size_t>& mine,
+    const std::vector<Shard>& shards, bool clear_fault) {
+  wire::WorkerRequestData req = base;
+  if (clear_fault) req.options.worker_fault = WorkerFault::None;
+  req.shards.reserve(mine.size());
+  for (const std::size_t i : mine) {
+    req.shards.push_back(
+        {i, shards[i].job, shards[i].unit_begin, shards[i].unit_end});
+  }
+  wire::Encoder enc;
+  wire::encode_worker_request(enc, req);
+  std::vector<std::uint8_t> framed;
+  wire::write_frame(framed, wire::Payload::WorkerRequest, enc);
+  return framed;
+}
+
+// Tears the worker fleet down — both pipe ends closed so a blocked child
+// dies on EOF/EPIPE instead of hanging, every child reaped — and raises
+// WorkerFailure.  Nothing partial has been merged when this throws: both
+// drains buffer a worker's partials until its clean Done frame.
+[[noreturn]] void fail_workers(std::vector<wire::WorkerProcess>& procs,
+                               const std::string& message) {
+  for (auto& p : procs) {
+    p.close_to_child();
+    p.close_from_child();
+    p.wait();
+  }
+  throw WorkerFailure("cross-process campaign: " + message);
+}
+
+// The pre-supervision drain (CampaignOptions::supervised == false): one
+// blocking FdFrameReader per worker, drained sequentially, any failure
+// fatal.  Kept alive as the differential baseline the supervised path is
+// compared against (campaign_supervision_test) and as the yardstick
+// BM_WorkerSupervision prices the timed drain with.
+void run_shards_legacy(const std::vector<CampaignJob>& jobs,
+                       const CampaignOptions& options,
+                       const std::vector<Shard>& shards,
+                       const std::vector<std::vector<std::size_t>>& assigned,
+                       const wire::WorkerRequestData& base,
+                       std::vector<ShardOutcome>& outcomes) {
+  const std::size_t workers = assigned.size();
   std::vector<wire::WorkerProcess> procs;
   procs.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
+    // Fork-only children must close the parent-side pipe ends of their
+    // already-spawned siblings: a sibling holding a read end open would
+    // swallow the EOF the parent relies on (exec-mode pipes are O_CLOEXEC,
+    // so the list is only load-bearing on the no-exec path).
+    std::vector<int> inherited;
+    for (const auto& p : procs) {
+      if (p.to_child >= 0) inherited.push_back(p.to_child);
+      if (p.from_child >= 0) inherited.push_back(p.from_child);
+    }
     try {
       procs.push_back(wire::spawn_worker(
           options.worker_command,
-          [](int in, int out) { return run_campaign_worker(in, out); }, w));
+          [](int in, int out) { return run_campaign_worker(in, out); }, w,
+          inherited));
     } catch (const std::exception& e) {
       fail_workers(procs, e.what());
     }
@@ -601,19 +690,9 @@ void run_shards_cross_process(const std::vector<CampaignJob>& jobs,
   // time.  No deadlock is possible: requests are small, and a worker reads
   // its whole request before writing anything; a worker blocked on a full
   // response pipe simply waits until its drain turn comes.
-  wire::Encoder enc;
-  std::vector<std::uint8_t> framed;
   for (std::size_t w = 0; w < workers; ++w) {
-    wire::WorkerRequestData req = base;
-    req.shards.reserve(assigned[w].size());
-    for (const std::size_t i : assigned[w]) {
-      req.shards.push_back(
-          {i, shards[i].job, shards[i].unit_begin, shards[i].unit_end});
-    }
-    enc.clear();
-    wire::encode_worker_request(enc, req);
-    framed.clear();
-    wire::write_frame(framed, wire::Payload::WorkerRequest, enc);
+    const std::vector<std::uint8_t> framed =
+        frame_request(base, assigned[w], shards, /*clear_fault=*/false);
     if (!wire::write_all(procs[w].to_child, framed.data(), framed.size())) {
       fail_workers(procs, "worker " + std::to_string(w) +
                               ": request write failed (worker gone?)");
@@ -637,9 +716,9 @@ void run_shards_cross_process(const std::vector<CampaignJob>& jobs,
       if (st == wire::FdFrameReader::Status::Eof) {
         const int status = procs[w].wait();
         fail_workers(procs, who + ": stream ended before its Done frame (" +
-                                wire::describe_wait_status(status) + ")");
+                                describe_worker_exit(status) + ")");
       }
-      if (st == wire::FdFrameReader::Status::Error) {
+      if (st != wire::FdFrameReader::Status::Frame) {
         fail_workers(procs, who + ": " + err.to_string());
       }
       wire::Decoder d(frame.data, frame.size);
@@ -677,7 +756,7 @@ void run_shards_cross_process(const std::vector<CampaignJob>& jobs,
     procs[w].close_from_child();
     const int status = procs[w].wait();
     if (wire::exit_code(status) != kWorkerExitOk) {
-      fail_workers(procs, who + " " + wire::describe_wait_status(status));
+      fail_workers(procs, who + " " + describe_worker_exit(status));
     }
     if (done_count != partials.size() ||
         partials.size() != assigned[w].size()) {
@@ -696,17 +775,371 @@ void run_shards_cross_process(const std::vector<CampaignJob>& jobs,
                                 std::to_string(part.shard));
       }
       filled[i] = true;
-      ShardOutcome& out = outcomes[i];
-      out.partial = part.partial;
-      AlphabetCoverage cov(jobs[part.job].property->alphabet());
-      for (std::size_t n = 0; n < part.alphabet_seen.size(); ++n) {
-        if (part.alphabet_seen[n]) cov.record(static_cast<spec::Name>(n));
-      }
-      out.alphabet.emplace(std::move(cov));
-      if (part.has_recognizer) {
-        out.recognizer.emplace(std::move(part.recognizer_rows));
+      install_partial(jobs, part, outcomes);
+    }
+  }
+}
+
+// The supervised drain: every worker's response pipe goes O_NONBLOCK, one
+// poll(2) loop multiplexes all the streams (a slow worker cannot hide a
+// sibling's failure), a per-frame deadline (CampaignOptions::
+// worker_timeout_ms, re-armed on each completed frame) retires workers
+// that stall or trickle, and a retired worker's shards are re-dispatched
+// to a fresh fault-free process up to CampaignOptions::worker_retries
+// times.  Only a clean Done merges; exhausted budgets either throw
+// WorkerFailure or — under allow_partial — record the slot's shards in
+// SupervisionInfo::failures and let the rest of the campaign stand.
+void run_shards_supervised(const std::vector<CampaignJob>& jobs,
+                           const CampaignOptions& options,
+                           const std::vector<Shard>& shards,
+                           const std::vector<std::vector<std::size_t>>& assigned,
+                           const wire::WorkerRequestData& base,
+                           std::vector<ShardOutcome>& outcomes,
+                           SupervisionInfo& sup) {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t workers = assigned.size();
+  const long timeout_ms = static_cast<long>(options.worker_timeout_ms);
+
+  struct Slot {
+    wire::WorkerProcess proc;
+    std::optional<wire::FdFrameReader> reader;
+    std::vector<std::uint8_t> first_request;  // fault armed (if any)
+    std::vector<std::uint8_t> retry_request;  // fault disarmed
+    std::vector<wire::WorkerPartialData> partials;
+    std::vector<bool> got;  // per assigned shard: partial received
+    std::size_t attempts = 0;
+    enum class State { Draining, Done, Failed } state = State::Draining;
+    std::string diagnostic;
+    Clock::time_point frame_deadline{};
+  };
+
+  std::vector<Slot> slots(workers);
+  // The distinct properties each slot's shards belong to: a retry is
+  // charged to every property the re-dispatched slice serves.
+  std::vector<std::vector<std::size_t>> slot_jobs(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (const std::size_t i : assigned[w]) {
+      auto& js = slot_jobs[w];
+      if (std::find(js.begin(), js.end(), shards[i].job) == js.end()) {
+        js.push_back(shards[i].job);
       }
     }
+    slots[w].first_request =
+        frame_request(base, assigned[w], shards, /*clear_fault=*/false);
+    slots[w].retry_request =
+        base.options.worker_fault == WorkerFault::None
+            ? slots[w].first_request
+            : frame_request(base, assigned[w], shards, /*clear_fault=*/true);
+  }
+
+  const auto who_of = [](std::size_t w) {
+    return "worker " + std::to_string(w);
+  };
+
+  // Parent-side failure (spawn, fcntl, poll): tear everything down and
+  // throw — that is resource exhaustion, not a worker fault, so neither
+  // the retry budget nor allow_partial applies.
+  const auto fail_all = [&](const std::string& message) {
+    for (auto& s : slots) s.proc.terminate(kKillGraceMs);
+    throw WorkerFailure("cross-process campaign: " + message);
+  };
+
+  // Every parent-side pipe end currently open across the fleet: the close
+  // list a fresh fork-only child runs before child_main, so no sibling
+  // relationship can swallow an EOF.
+  const auto open_parent_fds = [&]() {
+    std::vector<int> fds;
+    for (const auto& s : slots) {
+      if (s.proc.to_child >= 0) fds.push_back(s.proc.to_child);
+      if (s.proc.from_child >= 0) fds.push_back(s.proc.from_child);
+    }
+    return fds;
+  };
+
+  // Spawns (or respawns) slot w and writes its request.  False — with the
+  // slot's diagnostic set — when the fresh worker refused the request
+  // write, which counts as that attempt failing.
+  const auto dispatch = [&](std::size_t w) -> bool {
+    Slot& slot = slots[w];
+    ++slot.attempts;
+    try {
+      slot.proc = wire::spawn_worker(
+          options.worker_command,
+          [](int in, int out) { return run_campaign_worker(in, out); }, w,
+          open_parent_fds());
+    } catch (const std::exception& e) {
+      fail_all(e.what());
+    }
+    if (!wire::set_nonblocking(slot.proc.from_child)) {
+      fail_all(who_of(w) + ": could not set O_NONBLOCK on the response pipe");
+    }
+    const auto& framed =
+        slot.attempts == 1 ? slot.first_request : slot.retry_request;
+    if (!wire::write_all(slot.proc.to_child, framed.data(), framed.size())) {
+      slot.diagnostic = "request write failed (worker gone?)";
+      return false;
+    }
+    slot.proc.close_to_child();
+    slot.reader.emplace(slot.proc.from_child);
+    slot.partials.clear();
+    slot.got.assign(assigned[w].size(), false);
+    slot.state = Slot::State::Draining;
+    if (timeout_ms > 0) {
+      slot.frame_deadline =
+          Clock::now() + std::chrono::milliseconds(timeout_ms);
+    }
+    return true;
+  };
+
+  // Retires slot w's current worker: SIGTERM→grace→SIGKILL (a Hang-faulted
+  // worker ignores the SIGTERM and dies only to the escalation), render
+  // the failure over the final wait status, then spend the retry budget on
+  // fresh fault-free dispatches.  An exhausted budget marks the slot
+  // Failed under allow_partial and tears the campaign down otherwise.
+  const auto retire = [&](std::size_t w,
+                          const std::function<std::string(int)>& describe) {
+    Slot& slot = slots[w];
+    slot.reader.reset();
+    std::string message = describe(slot.proc.terminate(kKillGraceMs));
+    while (slot.attempts <= options.worker_retries) {
+      for (const std::size_t p : slot_jobs[w]) ++sup.retries_by_job[p];
+      if (dispatch(w)) return;
+      message = who_of(w) + ": " + slot.diagnostic + " (" +
+                describe_worker_exit(slot.proc.terminate(kKillGraceMs)) + ")";
+    }
+    slot.diagnostic = message + " (attempt " + std::to_string(slot.attempts) +
+                      " of " + std::to_string(options.worker_retries + 1) +
+                      ")";
+    slot.state = Slot::State::Failed;
+    if (!options.allow_partial) fail_all(slot.diagnostic);
+  };
+
+  // Drains every frame slot w's reader can produce without blocking.
+  // Again ends the visit (poll() will wake us); anything else either
+  // advances the slot or retires the worker.
+  const auto pump = [&](std::size_t w) {
+    Slot& slot = slots[w];
+    const std::string who = who_of(w);
+    while (slot.state == Slot::State::Draining) {
+      wire::Frame frame;
+      wire::DecodeError err;
+      const auto st = slot.reader->next(frame, err);
+      if (st == wire::FdFrameReader::Status::Again) return;
+      if (st == wire::FdFrameReader::Status::Eof) {
+        retire(w, [&who](int status) {
+          return who + ": stream ended before its Done frame (" +
+                 describe_worker_exit(status) + ")";
+        });
+        return;
+      }
+      if (st != wire::FdFrameReader::Status::Frame) {
+        const std::string text = who + ": " + err.to_string();
+        retire(w, [text](int) { return text; });
+        return;
+      }
+      if (timeout_ms > 0) {
+        // A complete frame is progress: the deadline re-arms per frame.
+        slot.frame_deadline =
+            Clock::now() + std::chrono::milliseconds(timeout_ms);
+      }
+      wire::Decoder d(frame.data, frame.size);
+      switch (frame.tag) {
+        case wire::Payload::WorkerPartial: {
+          wire::WorkerPartialData part;
+          if (!wire::decode_worker_partial(d, part)) {
+            const std::string text = who + ": " + d.error().to_string();
+            retire(w, [text](int) { return text; });
+            return;
+          }
+          if (!d.exhausted()) {
+            const std::string text =
+                who + ": trailing bytes after a partial payload";
+            retire(w, [text](int) { return text; });
+            return;
+          }
+          const std::size_t i = static_cast<std::size_t>(part.shard);
+          bool ours = i < shards.size() && i % workers == w &&
+                      part.job == shards[i].job;
+          if (ours) {
+            const std::size_t k = (i - w) / workers;
+            ours = k < slot.got.size() && !slot.got[k];
+            if (ours) slot.got[k] = true;
+          }
+          if (!ours) {
+            const std::string text = who + ": partial for foreign shard " +
+                                     std::to_string(part.shard);
+            retire(w, [text](int) { return text; });
+            return;
+          }
+          slot.partials.push_back(std::move(part));
+          break;
+        }
+        case wire::Payload::WorkerDone: {
+          std::uint64_t done_count = 0;
+          if (!wire::decode_worker_done(d, done_count) || !d.exhausted()) {
+            const std::string text = who + ": malformed Done frame";
+            retire(w, [text](int) { return text; });
+            return;
+          }
+          slot.reader.reset();
+          slot.proc.close_from_child();
+          int status = 0;
+          if (!slot.proc.wait_for(kKillGraceMs, status)) {
+            retire(w, [&who](int st) {
+              return who + ": kept running after its Done frame (" +
+                     describe_worker_exit(st) + ")";
+            });
+            return;
+          }
+          if (wire::exit_code(status) != kWorkerExitOk) {
+            const std::string text = who + " " + describe_worker_exit(status);
+            retire(w, [text](int) { return text; });
+            return;
+          }
+          if (done_count != slot.partials.size() ||
+              slot.partials.size() != assigned[w].size()) {
+            const std::string text =
+                who + ": returned " + std::to_string(slot.partials.size()) +
+                " partials for " + std::to_string(assigned[w].size()) +
+                " assigned shards";
+            retire(w, [text](int) { return text; });
+            return;
+          }
+          slot.state = Slot::State::Done;
+          return;
+        }
+        case wire::Payload::WorkerError: {
+          std::string message;
+          if (!wire::decode_worker_error(d, message)) {
+            message = "(malformed error frame)";
+          }
+          const std::string text = who + " reported: " + message;
+          retire(w, [text](int) { return text; });
+          return;
+        }
+        default: {
+          const std::string text =
+              who + ": unexpected " + wire::to_string(frame.tag) + " frame";
+          retire(w, [text](int) { return text; });
+          return;
+        }
+      }
+    }
+  };
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (!dispatch(w)) {
+      const std::string text = who_of(w) + ": " + slots[w].diagnostic;
+      retire(w, [text](int status) {
+        return text + " (" + describe_worker_exit(status) + ")";
+      });
+    }
+  }
+
+  // The multiplexed drain: poll every Draining slot's pipe, pump whoever
+  // is readable, then sweep expired frame deadlines.  The loop ends when
+  // every slot is Done or Failed.
+  std::vector<struct pollfd> pfds;
+  std::vector<std::size_t> pfd_slot;
+  for (;;) {
+    pfds.clear();
+    pfd_slot.clear();
+    Clock::time_point next_deadline{};
+    bool have_deadline = false;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const Slot& slot = slots[w];
+      if (slot.state != Slot::State::Draining) continue;
+      pfds.push_back({slot.proc.from_child, POLLIN, 0});
+      pfd_slot.push_back(w);
+      if (timeout_ms > 0 &&
+          (!have_deadline || slot.frame_deadline < next_deadline)) {
+        next_deadline = slot.frame_deadline;
+        have_deadline = true;
+      }
+    }
+    if (pfds.empty()) break;
+    int poll_timeout = -1;
+    if (have_deadline) {
+      const long long remain =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              next_deadline - Clock::now())
+              .count();
+      poll_timeout =
+          remain <= 0 ? 0 : static_cast<int>(std::min<long long>(remain, INT_MAX));
+    }
+    const int n = ::poll(pfds.data(), pfds.size(), poll_timeout);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_all(std::string("poll failed: ") + std::strerror(errno));
+    }
+    for (std::size_t k = 0; k < pfds.size(); ++k) {
+      if (pfds[k].revents == 0) continue;
+      const std::size_t w = pfd_slot[k];
+      // pump may retire-and-respawn; the stale pollfd entry is harmless
+      // because the vector is rebuilt before the next poll().
+      if (slots[w].state == Slot::State::Draining) pump(w);
+    }
+    if (timeout_ms > 0) {
+      const auto now = Clock::now();
+      for (std::size_t w = 0; w < workers; ++w) {
+        if (slots[w].state != Slot::State::Draining) continue;
+        if (now < slots[w].frame_deadline) continue;
+        const std::string text = who_of(w) + ": timed out after " +
+                                 std::to_string(timeout_ms) +
+                                 " ms waiting for a frame";
+        retire(w, [text](int) { return text; });
+      }
+    }
+  }
+
+  // Merge Done slots (per-slot validation already passed); record the
+  // Failed slots' shards in shard-index order.  A Failed slot's buffered
+  // partials are discarded whole — a degraded result never contains work
+  // from a worker that did not finish cleanly.
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (slots[w].state != Slot::State::Done) continue;
+    for (auto& part : slots[w].partials) {
+      install_partial(jobs, part, outcomes);
+    }
+  }
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const std::size_t w = i % workers;
+    if (slots[w].state != Slot::State::Failed) continue;
+    sup.failures.push_back({w, i, shards[i].unit_begin, shards[i].unit_end,
+                            slots[w].diagnostic});
+  }
+}
+
+// The parent side of cross-process sharding: spawn options.workers
+// subprocesses, hand each a round-robin slice of the exact shard layout
+// the in-process engine would run, and slot their wire-encoded partial
+// outcomes back into `outcomes` at the same indices — after which the
+// caller's merge loop cannot tell the difference.  That is the sixth
+// differential invariant (campaign_process_diff_test); the supervised
+// drain adds the seventh (faulted-then-retried ≡ clean,
+// campaign_supervision_test).
+void run_shards_cross_process(const std::vector<CampaignJob>& jobs,
+                              spec::Alphabet& ab,
+                              const CampaignOptions& options,
+                              const std::vector<Shard>& shards,
+                              std::vector<ShardOutcome>& outcomes,
+                              SupervisionInfo& sup) {
+  // A worker that died must surface as a write error, not a SIGPIPE kill.
+  wire::ignore_sigpipe();
+  const std::size_t workers = std::min(options.workers, shards.size());
+
+  // Round-robin assignment: shard i runs on worker i % workers.
+  std::vector<std::vector<std::size_t>> assigned(workers);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    assigned[i % workers].push_back(i);
+  }
+
+  const wire::WorkerRequestData base = make_base_request(jobs, ab, options);
+  if (options.supervised) {
+    run_shards_supervised(jobs, options, shards, assigned, base, outcomes,
+                          sup);
+  } else {
+    run_shards_legacy(jobs, options, shards, assigned, base, outcomes);
   }
 }
 
@@ -787,9 +1220,13 @@ std::vector<CampaignResult> run_campaigns(
   }
 
   std::vector<ShardOutcome> outcomes(shards.size());
+#if LOOM_WIRE_HAS_PROCESS
+  SupervisionInfo sup;
+  sup.retries_by_job.assign(jobs.size(), 0);
+#endif
   if (options.workers > 0 && !shards.empty()) {
 #if LOOM_WIRE_HAS_PROCESS
-    run_shards_cross_process(jobs, ab, options, shards, outcomes);
+    run_shards_cross_process(jobs, ab, options, shards, outcomes, sup);
 #else
     throw WorkerFailure(
         "cross-process campaign: no process support on this platform");
@@ -844,6 +1281,18 @@ std::vector<CampaignResult> run_campaigns(
     results[p].recognizer_state_coverage =
         rec_covs[p] ? rec_covs[p]->state_ratio() : 1.0;
   }
+#if LOOM_WIRE_HAS_PROCESS
+  // Supervision outcome: retry counts are engine diagnostics (excluded
+  // from report() and the differential comparisons — a retried campaign
+  // must stay byte-identical to a clean one); shard failures are semantic
+  // (they flip degraded()/ok() and print in report()).
+  for (std::size_t p = 0; p < jobs.size(); ++p) {
+    results[p].worker_retries = sup.retries_by_job[p];
+  }
+  for (auto& f : sup.failures) {
+    results[shards[f.shard].job].shard_failures.push_back(std::move(f));
+  }
+#endif
   return results;
 }
 
@@ -853,19 +1302,33 @@ CampaignResult run_campaign(const spec::Property& property,
   return run_campaigns({&property}, ab, options)[0];
 }
 
-int run_campaign_worker(int in_fd, int out_fd) {
+int run_campaign_worker(int in_fd, int out_fd,
+                        std::size_t request_timeout_ms) {
 #if !LOOM_WIRE_HAS_PROCESS
   (void)in_fd;
   (void)out_fd;
+  (void)request_timeout_ms;
   return kWorkerExitBadRequest;
 #else
   wire::ignore_sigpipe();
   wire::Encoder enc;
   std::vector<std::uint8_t> framed;
+  // SlowStream fault: once armed, every response byte trickles out alone
+  // with a pause behind it — alive by poll()'s lights, dead by the
+  // supervisor's frame deadline.
+  bool slow = false;
+  const auto send_bytes = [&](const std::uint8_t* data, std::size_t n) {
+    if (!slow) return wire::write_all(out_fd, data, n);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (!wire::write_all(out_fd, data + b, 1)) return false;
+      ::usleep(20 * 1000);
+    }
+    return true;
+  };
   const auto send = [&](wire::Payload tag) {
     framed.clear();
     wire::write_frame(framed, tag, enc);
-    return wire::write_all(out_fd, framed.data(), framed.size());
+    return send_bytes(framed.data(), framed.size());
   };
   const auto send_error = [&](const std::string& message) {
     enc.clear();
@@ -874,8 +1337,13 @@ int run_campaign_worker(int in_fd, int out_fd) {
   };
 
   // One request frame, fully read and validated before anything is sent
-  // back (the other half of the protocol's no-deadlock argument).
+  // back (the other half of the protocol's no-deadlock argument).  The
+  // optional deadline bounds the wait: an abandoned worker whose parent
+  // never writes exits instead of blocking forever on stdin.
   wire::FdFrameReader reader(in_fd);
+  if (request_timeout_ms > 0) {
+    reader.set_read_timeout_ms(static_cast<long>(request_timeout_ms));
+  }
   wire::Frame frame;
   wire::DecodeError err;
   const auto st = reader.next(frame, err);
@@ -901,6 +1369,11 @@ int run_campaign_worker(int in_fd, int out_fd) {
       send_error("worker: trailing bytes after the request payload");
       return kWorkerExitBadRequest;
     }
+  }
+  if (req.options.worker_fault == WorkerFault::ExitBeforeRequest) {
+    // Reads the request, answers nothing: the parent sees clean EOF with
+    // exit 0 before any frame — as if the worker died before starting.
+    return kWorkerExitOk;
   }
 
   try {
@@ -985,9 +1458,11 @@ int run_campaign_worker(int in_fd, int out_fd) {
       wire::encode_worker_partial(enc, part);
       framed.clear();
       wire::write_frame(framed, wire::Payload::WorkerPartial, enc);
-      if (i == 0 && options.worker_fault != WorkerFault::None) {
-        // Deterministic protocol violations (campaign_worker_fault_test):
-        // each fault corrupts exactly the first partial frame.
+      if (i == options.worker_fault_at &&
+          options.worker_fault != WorkerFault::None) {
+        // Deterministic protocol violations (campaign_worker_fault_test,
+        // campaign_supervision_test): each fault strikes exactly the
+        // partial frame at worker_fault_at.
         switch (options.worker_fault) {
           case WorkerFault::CorruptFrame:
             framed[0] ^= 0xFF;  // magic byte: the parent must reject this
@@ -999,12 +1474,32 @@ int run_campaign_worker(int in_fd, int out_fd) {
             wire::write_all(out_fd, framed.data(), framed.size() / 2);
             return kWorkerExitIo;
           }
-          case WorkerFault::None: break;
+          case WorkerFault::Hang: {
+            // Ignore the supervisor's SIGTERM: only the SIGKILL
+            // escalation ends this worker.
+            struct sigaction sa;
+            std::memset(&sa, 0, sizeof(sa));
+            sa.sa_handler = SIG_IGN;
+            ::sigaction(SIGTERM, &sa, nullptr);
+            for (;;) ::pause();
+          }
+          case WorkerFault::SlowStream:
+            slow = true;
+            break;
+          case WorkerFault::None:
+          case WorkerFault::PartialWritesOnly:
+          case WorkerFault::ExitBeforeRequest:
+            break;
         }
       }
-      if (!wire::write_all(out_fd, framed.data(), framed.size())) {
+      if (!send_bytes(framed.data(), framed.size())) {
         return kWorkerExitIo;
       }
+    }
+    if (options.worker_fault == WorkerFault::PartialWritesOnly) {
+      // Every partial sent, then silence where the Done trailer belongs:
+      // the parent must discard the whole stream, clean exit or not.
+      return kWorkerExitOk;
     }
     enc.clear();
     wire::encode_worker_done(enc, shards.size());
@@ -1095,6 +1590,15 @@ std::string CampaignResult::report(const spec::Alphabet&,
                   "skipped\n",
                   checkpoint_hits, events_skipped);
     out += buf;
+  }
+  // Semantic, not diagnostic: a degraded run (allow_partial absorbing an
+  // exhausted worker slot) must announce exactly which shards never ran.
+  for (const auto& f : shard_failures) {
+    std::snprintf(buf, sizeof buf, "degraded: shard %zu (units [%zu,%zu)) lost on worker %zu: ",
+                  f.shard, f.unit_begin, f.unit_end, f.worker);
+    out += buf;
+    out += f.diagnostic;
+    out += '\n';
   }
   out += ok() ? "campaign PASSED\n" : "campaign FAILED\n";
   return out;

@@ -42,14 +42,28 @@
 namespace loom::abv {
 
 /// Test-only misbehavior injection for the cross-process worker protocol
-/// (tests/campaign_worker_fault_test.cpp): a faulted worker deliberately
-/// violates the wire contract so the parent's failure handling can be
-/// pinned.  Always None in real runs.
+/// (tests/campaign_worker_fault_test.cpp, campaign_supervision_test.cpp):
+/// a faulted worker deliberately violates the wire contract so the
+/// parent's failure handling — and since the supervisor landed, its
+/// deadline / retry / degradation machinery — can be pinned.  Always None
+/// in real runs.  The per-frame faults strike the partial frame at index
+/// CampaignOptions::worker_fault_at (0 = the first, the historical
+/// behavior); an index past the worker's partial count disarms the fault.
+/// The supervisor clears the fault on re-dispatch, so a retried attempt
+/// runs clean — the deterministic "fails once, then recovers" shape the
+/// seventh invariant is locked against.
 enum class WorkerFault : std::uint8_t {
   None = 0,
-  CorruptFrame,   // emit one partial frame with a corrupted header
-  DieMidStream,   // exit after writing half a frame
-  FutureVersion,  // stamp a future wire-format version on one frame
+  CorruptFrame,       // emit one partial frame with a corrupted header
+  DieMidStream,       // exit after writing half a frame
+  FutureVersion,      // stamp a future wire-format version on one frame
+  Hang,               // go silent instead of a frame; ignores SIGTERM, so
+                      // only the supervisor's SIGKILL escalation ends it
+  SlowStream,         // trickle one byte per interval from that frame on —
+                      // alive by poll()'s lights, dead by the deadline's
+  PartialWritesOnly,  // send every partial but exit before the Done trailer
+  ExitBeforeRequest,  // exit silently right after reading the request, as
+                      // if the process died before starting work
 };
 
 struct CampaignOptions {
@@ -134,8 +148,10 @@ struct CampaignOptions {
   /// the others, with one documented exception: the trace-cache hit/miss
   /// *diagnostics* become per-process (a seed split across workers misses
   /// once per worker), which report() and the semantic result never see.
-  /// A worker failure (death, corrupt frame, foreign version) raises
-  /// WorkerFailure; nothing partial is ever merged.
+  /// A worker failure (death, timeout, corrupt frame, foreign version) is
+  /// retried per worker_retries; once retries are exhausted it raises
+  /// WorkerFailure — or, with allow_partial, degrades the result instead.
+  /// Nothing from a failed attempt is ever merged.
   std::size_t workers = 0;
   /// How to start a worker: an argv to exec (e.g. {"loomcheck",
   /// "--worker"}; the child speaks wire on stdin/stdout), or empty to
@@ -145,6 +161,39 @@ struct CampaignOptions {
   /// See WorkerFault; forwarded to workers so tests can inject protocol
   /// violations deterministically.
   WorkerFault worker_fault = WorkerFault::None;
+  /// Index of the partial frame worker_fault strikes (the n-th-partial
+  /// fault variants); past the worker's partial count the fault never
+  /// fires.  Ignored by ExitBeforeRequest, which faults before any frame.
+  std::size_t worker_fault_at = 0;
+
+  /// Supervision deadline, per frame: the parent fails a worker that has
+  /// not completed a frame within this many milliseconds (poll(2)-based
+  /// multiplexed drain; a trickling stream counts as stalled).  0 — the
+  /// default — waits forever, the pre-supervisor behavior.  A failed
+  /// worker is SIGTERM'd, granted a short grace, then SIGKILL'd, so even
+  /// a worker ignoring pipe EOF cannot wedge the campaign.
+  std::size_t worker_timeout_ms = 0;
+  /// Re-dispatch budget per worker slot: when a worker dies, times out or
+  /// violates the protocol, its exact shard assignment is re-sent to a
+  /// fresh worker up to this many times.  The partials of every failed
+  /// attempt are discarded wholesale and the shards recomputed, so a
+  /// retried run merges byte-identically to a clean one — the seventh
+  /// invariant (campaign_supervision_test).  Retry accounting lands in
+  /// CampaignResult::worker_retries, an engine diagnostic like the
+  /// trace-cache split, never in the semantic result.
+  std::size_t worker_retries = 0;
+  /// Opt-in graceful degradation: when a worker slot exhausts its retries,
+  /// record its shards as unexecuted (CampaignResult::shard_failures, the
+  /// `degraded()` flag and report()'s "degraded:" lines) and keep every
+  /// other worker's results, instead of throwing WorkerFailure and
+  /// discarding everything.  Off by default: all-or-nothing like PR 8.
+  bool allow_partial = false;
+  /// The supervised drain (poll-multiplexed, deadline-aware, retrying) is
+  /// the default; off selects the legacy PR 8 drain — sequential blocking
+  /// reads, no deadlines, no retries, first failure throws — kept alive as
+  /// the differential baseline and the BM_WorkerSupervision yardstick.
+  /// Clean runs are byte-identical either way.
+  bool supervised = true;
 
   /// Optional cross-campaign plan cache (borrowed; must outlive the call):
   /// when set, compile_property_plans() memoizes each property's
@@ -256,6 +305,35 @@ struct CampaignResult {
   std::size_t checkpoint_hits = 0;
   std::size_t events_skipped = 0;
 
+  /// Worker re-dispatches that touched this property's shards (engine
+  /// diagnostic, 0 without cross-process supervision).  A retried run's
+  /// semantic result is byte-identical to a clean run's — the seventh
+  /// invariant — so this count lives with the other per-process
+  /// diagnostics: excluded from report() and results_identical.
+  std::size_t worker_retries = 0;
+
+  /// One shard a cross-process campaign could not execute: its worker slot
+  /// exhausted every retry and options.allow_partial chose degradation
+  /// over WorkerFailure.  The diagnostic is the slot's final failure —
+  /// positioned wire error, timeout description, or wait status.  Unlike
+  /// the counters above this IS semantic: the shard's units are missing
+  /// from every aggregate, degraded() is true, ok() is false and report()
+  /// names each lost shard.
+  struct ShardFailure {
+    std::size_t worker = 0;      // worker slot whose retries ran out
+    std::size_t shard = 0;       // index in the campaign's shard layout
+    std::size_t unit_begin = 0;  // the unexecuted unit range [begin, end)
+    std::size_t unit_end = 0;
+    std::string diagnostic;
+  };
+  /// Lost shards in shard-index order; empty unless allow_partial
+  /// absorbed a worker failure.
+  std::vector<ShardFailure> shard_failures;
+
+  /// True when allow_partial absorbed at least one exhausted worker slot:
+  /// the aggregates cover only the surviving shards.
+  bool degraded() const { return !shard_failures.empty(); }
+
   /// One engine diagnostic as a named counter for benchmark export.  The
   /// names are the schema of the tracked BENCH_*.json baselines that
   /// tools/bench_compare.py diffs — renaming one orphans the recorded perf
@@ -274,8 +352,11 @@ struct CampaignResult {
   std::vector<DiagnosticCounter> diagnostic_counters() const;
 
   /// A healthy campaign: monitors agree with the oracle everywhere, all
-  /// valid traces pass, and no invalid mutant escapes detection.
+  /// valid traces pass, no invalid mutant escapes detection, and every
+  /// shard actually executed (a degraded run cannot claim a pass over
+  /// units it never ran).
   bool ok() const {
+    if (degraded()) return false;
     if (oracle_disagreements != 0 || viapsl_false_alarms != 0) return false;
     if (valid_accepted != traces) return false;
     for (const auto& m : mutation) {
@@ -287,7 +368,9 @@ struct CampaignResult {
   /// Human-readable summary.  The default report contains only the
   /// semantic result (every performance knob leaves it byte-identical —
   /// that is the differential tests' yardstick); `with_engine_diagnostics`
-  /// appends the trace-cache and checkpoint-replay accounting lines.
+  /// appends the trace-cache and checkpoint-replay accounting lines.  A
+  /// degraded run adds one "degraded:" line per lost shard — part of the
+  /// semantic result, since those units are missing from the aggregates.
   std::string report(const spec::Alphabet& ab,
                      bool with_engine_diagnostics = false) const;
 };
@@ -303,27 +386,38 @@ std::vector<CampaignResult> run_campaigns(
     const std::vector<const spec::Property*>& properties, spec::Alphabet& ab,
     const CampaignOptions& options);
 
-/// Raised by run_campaign(s) when a worker subprocess dies, corrupts its
-/// stream or violates the wire protocol.  The message carries the worker
-/// index plus the positioned wire diagnostic or exit description; no
-/// partial results from any worker have been merged when this throws.
+/// Raised by run_campaign(s) when a worker subprocess dies, times out,
+/// corrupts its stream or violates the wire protocol, after the worker's
+/// retry budget (CampaignOptions::worker_retries) is spent and
+/// allow_partial is off.  The message carries the worker index, the
+/// attempt count, and the positioned wire diagnostic, timeout or exit
+/// description; no partial results from any worker have been merged when
+/// this throws.
 struct WorkerFailure : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
 /// Worker-process exit codes (pinned by campaign_worker_fault_test; part
-/// of the protocol like the frame layout).
+/// of the protocol like the frame layout).  126/127 mirror the shell
+/// convention: the worker *command* failed before any wire was spoken,
+/// and the parent's diagnostic names that instead of a bare code.
 constexpr int kWorkerExitOk = 0;           // Done frame sent, stream clean
 constexpr int kWorkerExitBadRequest = 3;   // malformed/missing request frame
 constexpr int kWorkerExitBadProperty = 4;  // property text failed to parse
 constexpr int kWorkerExitIo = 5;           // pipe write failed mid-stream
+constexpr int kWorkerExitExecSetup = 126;  // dup2/pipe setup failed pre-exec
+constexpr int kWorkerExitExecMissing = 127;  // execvp itself failed
 
 /// The worker side of cross-process sharding: reads one WorkerRequest
 /// frame from `in_fd`, runs the assigned shards with the in-process
 /// engine, writes one WorkerPartial frame per shard plus a WorkerDone
 /// trailer to `out_fd`, and returns an exit code.  `loomcheck --worker`
 /// and the fork-only child both land here; tests call it directly on
-/// pipes to pin the exit codes.
-int run_campaign_worker(int in_fd, int out_fd);
+/// pipes to pin the exit codes.  `request_timeout_ms` bounds the wait for
+/// the request frame (`--worker-timeout-ms=` on the CLIs' worker mode):
+/// an abandoned worker whose parent never writes exits kWorkerExitBadRequest
+/// instead of blocking forever; 0 waits indefinitely.
+int run_campaign_worker(int in_fd, int out_fd,
+                        std::size_t request_timeout_ms = 0);
 
 }  // namespace loom::abv

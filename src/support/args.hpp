@@ -31,6 +31,20 @@ inline std::optional<std::size_t> parse_positive(const char* text) {
   return static_cast<std::size_t>(value);
 }
 
+/// Parses a non-negative decimal count ("--worker-timeout-ms=N",
+/// "--worker-retries=N" — knobs where 0 is a legal value meaning "off").
+/// Same strictness as parse_positive otherwise: nullopt on garbage, sign,
+/// whitespace, trailing junk or overflow.
+inline std::optional<std::size_t> parse_nonneg(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  const char* const last = text + std::strlen(text);
+  unsigned long long value = 0;
+  const auto [ptr, ec] = std::from_chars(text, last, value, 10);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (value > std::numeric_limits<std::size_t>::max()) return std::nullopt;
+  return static_cast<std::size_t>(value);
+}
+
 /// Parses argv[index] as a positive count.  A missing argument yields the
 /// fallback (positionals are optional); an argument that is present but
 /// not a plain positive decimal number yields nullopt, so the caller can

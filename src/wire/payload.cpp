@@ -163,6 +163,11 @@ void encode_options(Encoder& e, const abv::CampaignOptions& o) {
   e.put_u64(o.worker_command.size());
   for (const auto& arg : o.worker_command) e.put_string(arg);
   e.put_u8(static_cast<std::uint8_t>(o.worker_fault));
+  put_size(e, o.worker_fault_at);
+  put_size(e, o.worker_timeout_ms);
+  put_size(e, o.worker_retries);
+  e.put_bool(o.allow_partial);
+  e.put_bool(o.supervised);
 }
 
 bool decode_options(Decoder& d, abv::CampaignOptions& o) {
@@ -193,10 +198,15 @@ bool decode_options(Decoder& d, abv::CampaignOptions& o) {
   const std::size_t at = d.offset();
   const std::uint8_t fault = d.u8();
   if (d.ok() &&
-      fault > static_cast<std::uint8_t>(abv::WorkerFault::FutureVersion)) {
+      fault > static_cast<std::uint8_t>(abv::WorkerFault::ExitBeforeRequest)) {
     d.fail_at(at, "bad worker-fault byte " + std::to_string(fault));
   }
   if (d.ok()) o.worker_fault = static_cast<abv::WorkerFault>(fault);
+  o.worker_fault_at = get_size(d);
+  o.worker_timeout_ms = get_size(d);
+  o.worker_retries = get_size(d);
+  o.allow_partial = d.boolean();
+  o.supervised = d.boolean();
   // Borrowed pointers never cross a process boundary.
   o.plan_cache = nullptr;
   return d.ok();
@@ -217,6 +227,15 @@ void encode_result(Encoder& e, const abv::CampaignResult& r) {
   put_size(e, r.trace_cache_misses);
   put_size(e, r.checkpoint_hits);
   put_size(e, r.events_skipped);
+  put_size(e, r.worker_retries);
+  e.put_u64(r.shard_failures.size());
+  for (const auto& f : r.shard_failures) {
+    put_size(e, f.worker);
+    put_size(e, f.shard);
+    put_size(e, f.unit_begin);
+    put_size(e, f.unit_end);
+    e.put_string(f.diagnostic);
+  }
 }
 
 bool decode_result(Decoder& d, abv::CampaignResult& r) {
@@ -235,6 +254,20 @@ bool decode_result(Decoder& d, abv::CampaignResult& r) {
   r.trace_cache_misses = get_size(d);
   r.checkpoint_hits = get_size(d);
   r.events_skipped = get_size(d);
+  r.worker_retries = get_size(d);
+  // A failure record is at least four u64 fields plus the diagnostic's
+  // 8-byte length word.
+  const std::uint64_t failures = d.count(40, "shard failure list");
+  r.shard_failures.clear();
+  for (std::uint64_t i = 0; i < failures && d.ok(); ++i) {
+    abv::CampaignResult::ShardFailure f;
+    f.worker = get_size(d);
+    f.shard = get_size(d);
+    f.unit_begin = get_size(d);
+    f.unit_end = get_size(d);
+    d.string_into(f.diagnostic);
+    if (d.ok()) r.shard_failures.push_back(std::move(f));
+  }
   return d.ok();
 }
 

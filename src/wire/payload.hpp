@@ -47,7 +47,8 @@ bool decode_options(Decoder& d, abv::CampaignOptions& options);
 
 /// abv::CampaignResult (Payload::Result): every counter, the five
 /// MutationStats, both coverage ratios (bit-exact f64), MonitorStats,
-/// CompileStats and the engine diagnostics.
+/// CompileStats, the engine diagnostics (retry count included) and the
+/// per-shard failure records of a degraded run.
 void encode_result(Encoder& e, const abv::CampaignResult& result);
 bool decode_result(Decoder& d, abv::CampaignResult& result);
 

@@ -3,14 +3,71 @@
 #if LOOM_WIRE_HAS_PROCESS
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <stdexcept>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 namespace loom::wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Milliseconds until `deadline`, clamped at 0 (poll() treats a negative
+// timeout as infinite, which is exactly the bug a clamp prevents).
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  if (left > 0x7fffffff) return 0x7fffffff;
+  return static_cast<int>(left);
+}
+
+// Waits until `fd` is readable or the deadline passes.  True when readable
+// (POLLHUP/POLLERR count: the following read() reports EOF or the error);
+// false on deadline expiry.
+bool poll_readable_until(int fd, Clock::time_point deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return true;  // let read() surface the error
+  }
+}
+
+// Creates a close-on-exec pipe: pipe2(O_CLOEXEC) where available, else
+// pipe() + fcntl(FD_CLOEXEC) on both ends.  Returns 0 or -1 with errno.
+int pipe_cloexec(int fds[2]) {
+#if defined(O_CLOEXEC) && defined(__linux__)
+  return ::pipe2(fds, O_CLOEXEC);
+#else
+  if (::pipe(fds) != 0) return -1;
+  for (int i = 0; i < 2; ++i) {
+    const int flags = ::fcntl(fds[i], F_GETFD);
+    if (flags < 0 || ::fcntl(fds[i], F_SETFD, flags | FD_CLOEXEC) < 0) {
+      const int saved = errno;
+      ::close(fds[0]);
+      ::close(fds[1]);
+      errno = saved;
+      return -1;
+    }
+  }
+  return 0;
+#endif
+}
+
+}  // namespace
 
 bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
   while (n > 0) {
@@ -39,7 +96,27 @@ long read_exact(int fd, std::uint8_t* out, std::size_t n) {
   return static_cast<long>(got);
 }
 
-void ignore_sigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+void ignore_sigpipe() {
+  // Armed once per process image; the disposition survives fork() and is
+  // re-armed by run_campaign_worker after exec, so both halves of the pipe
+  // protocol see EPIPE instead of dying.  sigaction instead of signal():
+  // defined semantics everywhere, no accidental SA_RESTART surprises.
+  static const bool armed = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = SIG_IGN;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGPIPE, &sa, nullptr);
+    return true;
+  }();
+  (void)armed;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
 
 WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept {
   *this = std::move(other);
@@ -91,16 +168,59 @@ int WorkerProcess::wait() {
   return status_;
 }
 
+bool WorkerProcess::wait_for(long timeout_ms, int& status) {
+  if (waited_ || pid <= 0) {
+    status = status_;
+    return true;
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
+  for (;;) {
+    int raw = 0;
+    const pid_t r = ::waitpid(static_cast<pid_t>(pid), &raw, WNOHANG);
+    if (r == static_cast<pid_t>(pid)) {
+      status_ = raw;
+      waited_ = true;
+      status = status_;
+      return true;
+    }
+    if (r < 0 && errno != EINTR) {
+      // ECHILD etc.: nothing left to reap — report "done" with a zero
+      // status rather than spinning until the deadline.
+      status_ = 0;
+      waited_ = true;
+      status = status_;
+      return true;
+    }
+    if (Clock::now() >= deadline) return false;
+    // Exits are signaled by SIGCHLD, not by a pollable fd here; a short
+    // sleep bounds the reap latency without burning a core.
+    ::usleep(1000);
+  }
+}
+
+int WorkerProcess::terminate(long grace_ms) {
+  close_to_child();
+  close_from_child();
+  if (waited_ || pid <= 0) return status_;
+  ::kill(static_cast<pid_t>(pid), SIGTERM);
+  int status = 0;
+  if (wait_for(grace_ms, status)) return status;
+  ::kill(static_cast<pid_t>(pid), SIGKILL);
+  return wait();  // SIGKILL cannot be ignored; this reaps promptly
+}
+
 WorkerProcess spawn_worker(const std::vector<std::string>& argv,
                            const std::function<int(int, int)>& child_main,
-                           std::size_t index) {
+                           std::size_t index,
+                           const std::vector<int>& inherited_fds) {
   int to_child[2];    // parent writes [1], child reads [0]
   int from_child[2];  // child writes [1], parent reads [0]
-  if (::pipe(to_child) != 0) {
+  if (pipe_cloexec(to_child) != 0) {
     throw std::runtime_error(std::string("pipe failed: ") +
                              std::strerror(errno));
   }
-  if (::pipe(from_child) != 0) {
+  if (pipe_cloexec(from_child) != 0) {
     const int saved = errno;
     ::close(to_child[0]);
     ::close(to_child[1]);
@@ -122,17 +242,25 @@ WorkerProcess spawn_worker(const std::vector<std::string>& argv,
     ::close(to_child[1]);
     ::close(from_child[0]);
     if (argv.empty()) {
-      // Fork-only mode: run the worker loop in this image and leave via
-      // _exit — no destructors, no atexit; the parent's state must not be
-      // torn down twice.
+      // Fork-only mode: no exec, so O_CLOEXEC never fires — close the
+      // inherited parent-side pipe ends of sibling workers explicitly, or
+      // a sibling's EOF would wait on this process too.
+      for (const int fd : inherited_fds) {
+        if (fd >= 0) ::close(fd);
+      }
+      // Run the worker loop in this image and leave via _exit — no
+      // destructors, no atexit; the parent's state must not be torn down
+      // twice.
       int code = 127;
       if (child_main) code = child_main(to_child[0], from_child[1]);
       ::_exit(code);
     }
-    // Exec mode: the worker speaks wire on stdin/stdout.
+    // Exec mode: the worker speaks wire on stdin/stdout.  dup2 clears
+    // FD_CLOEXEC on the duplicate, so exactly these two descriptors
+    // survive the exec; every other pipe end closes itself.
     if (::dup2(to_child[0], STDIN_FILENO) < 0 ||
         ::dup2(from_child[1], STDOUT_FILENO) < 0) {
-      ::_exit(126);
+      ::_exit(126);  // abv::kWorkerExitExecSetup
     }
     ::close(to_child[0]);
     ::close(from_child[1]);
@@ -141,7 +269,7 @@ WorkerProcess spawn_worker(const std::vector<std::string>& argv,
     for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
     cargv.push_back(nullptr);
     ::execvp(cargv[0], cargv.data());
-    ::_exit(127);  // exec failed
+    ::_exit(127);  // abv::kWorkerExitExecMissing: exec itself failed
   }
   // Parent.
   ::close(to_child[0]);
@@ -169,41 +297,121 @@ int exit_code(int status) {
 }
 
 FdFrameReader::Status FdFrameReader::next(Frame& frame, DecodeError& err) {
-  std::uint8_t header[kFrameHeaderBytes];
-  const long got = read_exact(fd_, header, sizeof header);
-  if (got == 0) return Status::Eof;
-  if (got < 0 || static_cast<std::size_t>(got) != sizeof header) {
-    err.offset = got < 0 ? 0 : static_cast<std::size_t>(got);
-    err.message = got < 0 ? "pipe read failed"
-                          : "stream ended inside a frame header (" +
-                                std::to_string(got) + " of 16 bytes)";
-    return Status::Error;
-  }
-  FrameHeader h;
-  if (!parse_frame_header(header, sizeof header, h, err)) {
-    return Status::Error;
-  }
-  // parse_frame_header already capped the length at kMaxFrameBytes, so
-  // this resize is bounded; the buffer's capacity survives across frames.
-  payload_.resize(static_cast<std::size_t>(h.length));
-  if (h.length > 0) {
-    const long body = read_exact(fd_, payload_.data(), payload_.size());
-    if (body < 0 || static_cast<std::size_t>(body) != payload_.size()) {
-      err.offset =
-          kFrameHeaderBytes + (body < 0 ? 0 : static_cast<std::size_t>(body));
-      err.message = body < 0 ? "pipe read failed"
-                             : "stream ended inside a frame payload (" +
-                                   std::to_string(body) + " of " +
-                                   std::to_string(payload_.size()) +
-                                   " bytes)";
+  const bool timed = timeout_ms_ > 0;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timed ? timeout_ms_ : 0);
+
+  // One incremental read step.  Returns the bytes read (> 0), 0 on EOF, or
+  // a negative sentinel: -1 read error, -2 deadline expired, -3 would
+  // block without a deadline (the caller's poll loop owns the waiting).
+  // When a deadline is armed the poll comes *before* the read: the fd may
+  // be in blocking mode (a worker's stdin), and a blocked read() would
+  // never notice the deadline at all.
+  const auto step = [&](std::uint8_t* dst, std::size_t want) -> long {
+    for (;;) {
+      if (timed && !poll_readable_until(fd_, deadline)) return -2;
+      const ssize_t r = ::read(fd_, dst, want);
+      if (r >= 0) return static_cast<long>(r);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!timed) return -3;
+        continue;
+      }
+      return -1;
+    }
+  };
+
+  for (;;) {
+    if (!in_payload_) {
+      while (header_got_ < kFrameHeaderBytes) {
+        if (timed && Clock::now() >= deadline) {
+          err.offset = header_got_;
+          err.message = "read timed out after " + std::to_string(timeout_ms_) +
+                        " ms inside a frame header (" +
+                        std::to_string(header_got_) + " of 16 bytes)";
+          return Status::Timeout;
+        }
+        const long r = step(header_ + header_got_,
+                            kFrameHeaderBytes - header_got_);
+        if (r > 0) {
+          header_got_ += static_cast<std::size_t>(r);
+          continue;
+        }
+        if (r == 0) {
+          if (header_got_ == 0) return Status::Eof;
+          err.offset = header_got_;
+          err.message = "stream ended inside a frame header (" +
+                        std::to_string(header_got_) + " of 16 bytes)";
+          return Status::Error;
+        }
+        if (r == -3) return Status::Again;
+        if (r == -2) {
+          err.offset = header_got_;
+          err.message = "read timed out after " + std::to_string(timeout_ms_) +
+                        " ms inside a frame header (" +
+                        std::to_string(header_got_) + " of 16 bytes)";
+          return Status::Timeout;
+        }
+        err.offset = header_got_;
+        err.message = "pipe read failed";
+        return Status::Error;
+      }
+      FrameHeader h;
+      if (!parse_frame_header(header_, kFrameHeaderBytes, h, err)) {
+        return Status::Error;
+      }
+      // parse_frame_header already capped the length at kMaxFrameBytes, so
+      // this resize is bounded; the buffer's capacity survives across
+      // frames.
+      pending_tag_ = h.tag;
+      payload_.resize(static_cast<std::size_t>(h.length));
+      payload_got_ = 0;
+      in_payload_ = true;
+    }
+    while (payload_got_ < payload_.size()) {
+      if (timed && Clock::now() >= deadline) {
+        err.offset = kFrameHeaderBytes + payload_got_;
+        err.message = "read timed out after " + std::to_string(timeout_ms_) +
+                      " ms inside a frame payload (" +
+                      std::to_string(payload_got_) + " of " +
+                      std::to_string(payload_.size()) + " bytes)";
+        return Status::Timeout;
+      }
+      const long r =
+          step(payload_.data() + payload_got_, payload_.size() - payload_got_);
+      if (r > 0) {
+        payload_got_ += static_cast<std::size_t>(r);
+        continue;
+      }
+      if (r == 0) {
+        err.offset = kFrameHeaderBytes + payload_got_;
+        err.message = "stream ended inside a frame payload (" +
+                      std::to_string(payload_got_) + " of " +
+                      std::to_string(payload_.size()) + " bytes)";
+        return Status::Error;
+      }
+      if (r == -3) return Status::Again;
+      if (r == -2) {
+        err.offset = kFrameHeaderBytes + payload_got_;
+        err.message = "read timed out after " + std::to_string(timeout_ms_) +
+                      " ms inside a frame payload (" +
+                      std::to_string(payload_got_) + " of " +
+                      std::to_string(payload_.size()) + " bytes)";
+        return Status::Timeout;
+      }
+      err.offset = kFrameHeaderBytes + payload_got_;
+      err.message = "pipe read failed";
       return Status::Error;
     }
+    // Frame complete: reset the state machine for the next call; the
+    // payload buffer stays valid (and owned) until then.
+    in_payload_ = false;
+    header_got_ = 0;
+    ++frames_read_;
+    frame.tag = pending_tag_;
+    frame.data = payload_.data();
+    frame.size = payload_.size();
+    return Status::Frame;
   }
-  ++frames_read_;
-  frame.tag = h.tag;
-  frame.data = payload_.data();
-  frame.size = payload_.size();
-  return Status::Frame;
 }
 
 }  // namespace loom::wire

@@ -8,6 +8,20 @@
 //! partial frames allocates only while a frame grows past every earlier
 //! one — the mon::Snapshot reuse discipline applied to pipes.
 //!
+//! Supervision primitives: the reader keeps incremental per-frame state so
+//! it can resume after a would-block read (Status::Again on O_NONBLOCK
+//! descriptors — the multiplexed drain's building block) and enforces an
+//! optional poll(2)-based read deadline (Status::Timeout) so a stalled or
+//! trickling peer can never wedge the caller inside read(2).  WorkerProcess
+//! grows a bounded wait (wait_for) and a SIGTERM→grace→SIGKILL escalation
+//! (terminate) for workers that ignore pipe EOF.
+//!
+//! Descriptor hygiene: pipes are created close-on-exec (pipe2(O_CLOEXEC)
+//! with a fcntl fallback), so exec-mode workers only ever see their own
+//! dup2'd stdin/stdout; fork-only children additionally close every fd the
+//! caller lists in `inherited_fds`, so a sibling worker can never hold a
+//! parent pipe end open and swallow its EOF.
+//!
 //! Ownership: WorkerProcess owns its two descriptors until close_fds() or
 //! wait(); the destructor closes leaked descriptors but never waits (a
 //! parent must reap explicitly so exit codes are observed, not lost).
@@ -44,8 +58,16 @@ bool write_all(int fd, const std::uint8_t* data, std::size_t n);
 long read_exact(int fd, std::uint8_t* out, std::size_t n);
 
 /// Makes SIGPIPE a visible write error (EPIPE) instead of a process kill
-/// for the whole program; idempotent.
+/// for the whole program.  sigaction-based and armed exactly once per
+/// process image (idempotent under repeated calls); both the supervising
+/// parent and the worker child path call it, so an exec'd worker whose
+/// parent dies mid-drain fails its writes instead of dying silently.
 void ignore_sigpipe();
+
+/// Sets O_NONBLOCK on `fd`; false (with errno set) on fcntl failure.  The
+/// multiplexed drain puts worker read-ends in this mode so FdFrameReader
+/// returns Status::Again instead of blocking between poll() wakeups.
+bool set_nonblocking(int fd);
 
 /// One spawned worker: its pid plus the parent's two pipe ends.
 struct WorkerProcess {
@@ -66,8 +88,22 @@ struct WorkerProcess {
   void close_from_child();
 
   /// waitpid for this worker; returns the raw wait status (idempotent —
-  /// later calls return the first status).
+  /// later calls return the first status).  Blocks until the worker exits.
   int wait();
+
+  /// Bounded wait: polls waitpid(WNOHANG) for up to `timeout_ms`
+  /// milliseconds.  True (with the status in `status`) once the worker is
+  /// reaped — also on later calls, like wait(); false if it is still
+  /// running when the deadline passes.  Never blocks longer than the
+  /// deadline, so supervision tests stay well under the ctest timeout.
+  bool wait_for(long timeout_ms, int& status);
+
+  /// SIGTERM→grace→SIGKILL escalation: closes both pipe ends (EOF/EPIPE
+  /// for a cooperative worker), sends SIGTERM, waits up to `grace_ms`,
+  /// then SIGKILLs and reaps unconditionally.  Returns the final wait
+  /// status.  Idempotent: an already-reaped worker just returns its
+  /// recorded status.
+  int terminate(long grace_ms);
 
  private:
   bool waited_ = false;
@@ -80,9 +116,15 @@ struct WorkerProcess {
 /// write_fd)` in the forked image and _exit()s with its return value —
 /// the single-binary path tests use.  Throws std::runtime_error when the
 /// pipes or the fork itself fail.
+///
+/// `inherited_fds` lists descriptors the fork-only child must close before
+/// running child_main — typically the parent-side pipe ends of its sibling
+/// workers, which O_CLOEXEC cannot cover on the no-exec path.  Exec-mode
+/// children need no list: every pipe is close-on-exec.
 WorkerProcess spawn_worker(const std::vector<std::string>& argv,
                            const std::function<int(int, int)>& child_main,
-                           std::size_t index);
+                           std::size_t index,
+                           const std::vector<int>& inherited_fds = {});
 
 /// Renders a waitpid status ("exited with code 5", "killed by signal 9")
 /// for WorkerFailure messages; exit_code() extracts the code, -1 when the
@@ -93,21 +135,45 @@ int exit_code(int status);
 /// Reads length-prefixed frames off a descriptor, one at a time, into
 /// capacity-reusing buffers.  The Frame view returned by next() is valid
 /// until the following next() call.
+///
+/// The reader is an incremental state machine: a read that would block on
+/// an O_NONBLOCK descriptor returns Status::Again with the partial frame
+/// retained, and the following next() resumes exactly where it stopped —
+/// which is what lets a supervisor multiplex many workers' streams through
+/// one poll(2) loop without a slow worker hiding a sibling's failure.
+/// With a read deadline set (set_read_timeout_ms), next() instead poll()s
+/// for more bytes and returns Status::Timeout once the whole frame has
+/// failed to arrive within the budget — a trickling peer (one byte per
+/// interval) times out exactly like a silent one.
 class FdFrameReader {
  public:
   explicit FdFrameReader(int fd) : fd_(fd) {}
 
   enum class Status {
-    Frame,  // `frame` holds a validated frame
-    Eof,    // clean end of stream at a frame boundary
-    Error,  // `err` holds the positioned diagnostic
+    Frame,    // `frame` holds a validated frame
+    Eof,      // clean end of stream at a frame boundary
+    Error,    // `err` holds the positioned diagnostic
+    Again,    // O_NONBLOCK and no complete frame yet; call next() later
+    Timeout,  // the read deadline expired inside a frame read
   };
+
+  /// Per-call deadline for completing one frame, in milliseconds; <= 0
+  /// (the default) disables the deadline.  With a deadline set, a read
+  /// that would block poll()s for the remaining budget instead of
+  /// returning Again.
+  void set_read_timeout_ms(long ms) { timeout_ms_ = ms; }
 
   Status next(Frame& frame, DecodeError& err);
 
  private:
   int fd_;
+  long timeout_ms_ = 0;
   std::vector<std::uint8_t> payload_;
+  std::uint8_t header_[16] = {};
+  std::size_t header_got_ = 0;
+  std::size_t payload_got_ = 0;
+  bool in_payload_ = false;
+  Payload pending_tag_ = Payload::Trace;
   std::uint64_t frames_read_ = 0;
 };
 

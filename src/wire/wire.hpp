@@ -41,8 +41,11 @@ namespace loom::wire {
 
 /// Format version stamped into every frame header.  Bump on any layout
 /// change; readers reject frames from a different version with a
-/// positioned diagnostic (never a misparse).
-constexpr std::uint8_t kWireVersion = 1;
+/// positioned diagnostic (never a misparse).  Version 2 extended the
+/// CampaignOptions payload with the supervision knobs (timeout, retries,
+/// allow_partial, fault position) and the CampaignResult payload with the
+/// per-shard failure records of degraded runs.
+constexpr std::uint8_t kWireVersion = 2;
 
 /// "LOOM" as a little-endian u32 (the file starts with the bytes L O O M).
 constexpr std::uint32_t kMagic = 0x4D4F4F4Cu;

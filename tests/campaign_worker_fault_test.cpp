@@ -61,9 +61,11 @@ TEST(CampaignWorkerFault, CorruptFrameSurfacesThePositionedDiagnostic) {
 }
 
 TEST(CampaignWorkerFault, FutureWireVersionIsRefusedByName) {
-  // A worker from a newer build stamps version 2: the parent says exactly
-  // that instead of misparsing the frame.
-  expect_failure(WorkerFault::FutureVersion, "wire format version 2");
+  // A worker from a newer build stamps kWireVersion + 1: the parent says
+  // exactly that instead of misparsing the frame.
+  expect_failure(
+      WorkerFault::FutureVersion,
+      "wire format version " + std::to_string(wire::kWireVersion + 1));
 }
 
 TEST(CampaignWorkerFault, WorkerDyingMidFrameNeverHangsTheParent) {
@@ -92,6 +94,27 @@ TEST(CampaignWorkerFault, ExecOfNonexistentBinaryFails) {
   opt.workers = 1;
   opt.worker_command = {"/nonexistent/loomcheck-worker-binary", "--worker"};
   EXPECT_THROW(run_campaign(p, ab, opt), WorkerFailure);
+}
+
+TEST(CampaignWorkerFault, ExecFailureIsNamedInTheDiagnostic) {
+  // The pinned exec exit codes (126 setup, 127 execvp) must not surface as
+  // a bare "exited with code 127": the parent's message says in words that
+  // the worker command could not be executed.
+  spec::Alphabet ab;
+  auto p = loom::testing::parse(kProperty, ab);
+  CampaignOptions opt = small_options();
+  opt.workers = 1;
+  opt.worker_command = {"/nonexistent/loomcheck-worker-binary", "--worker"};
+  try {
+    run_campaign(p, ab, opt);
+    FAIL() << "expected WorkerFailure";
+  } catch (const WorkerFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("could not be executed"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(kWorkerExitExecMissing)),
+              std::string::npos)
+        << what;
+  }
 }
 
 TEST(CampaignWorkerFault, FaultlessRunStillSucceedsAfterFailedOnes) {

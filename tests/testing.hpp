@@ -166,6 +166,10 @@ inline ::testing::AssertionResult results_identical(
         b.monitor_stats.events);
   field("monitor_stats.max_ops_per_event", a.monitor_stats.max_ops_per_event,
         b.monitor_stats.max_ops_per_event);
+  // Degradation is semantic (worker_retries is not: a retried campaign
+  // must compare identical to a clean one, so the retry count stays out).
+  field("shard_failures.size()", a.shard_failures.size(),
+        b.shard_failures.size());
   if (diff.str().empty()) return ::testing::AssertionSuccess();
   return ::testing::AssertionFailure()
          << "CampaignResult fields differ:\n"

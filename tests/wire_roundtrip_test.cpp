@@ -60,7 +60,12 @@ abv::CampaignOptions fuzz_options(support::Rng& rng) {
   for (std::uint64_t i = rng.below(4); i > 0; --i) {
     o.worker_command.push_back("arg" + std::to_string(i));
   }
-  o.worker_fault = static_cast<abv::WorkerFault>(rng.below(4));
+  o.worker_fault = static_cast<abv::WorkerFault>(rng.below(8));
+  o.worker_fault_at = rng.below(16);
+  o.worker_timeout_ms = rng.below(10000);
+  o.worker_retries = rng.below(8);
+  o.allow_partial = rng.below(2) != 0;
+  o.supervised = rng.below(2) != 0;
   return o;
 }
 
@@ -94,6 +99,16 @@ abv::CampaignResult fuzz_result(support::Rng& rng) {
   r.trace_cache_misses = rng.below(1000);
   r.checkpoint_hits = rng.below(1000);
   r.events_skipped = rng.below(100000);
+  r.worker_retries = rng.below(10);
+  for (std::uint64_t i = rng.below(3); i > 0; --i) {
+    abv::CampaignResult::ShardFailure f;
+    f.worker = rng.below(8);
+    f.shard = rng.below(64);
+    f.unit_begin = rng.below(100);
+    f.unit_end = f.unit_begin + rng.below(100);
+    f.diagnostic = "worker " + std::to_string(f.worker) + ": lost";
+    r.shard_failures.push_back(std::move(f));
+  }
   return r;
 }
 
@@ -119,6 +134,11 @@ void expect_options_equal(const abv::CampaignOptions& a,
   EXPECT_EQ(a.workers, b.workers) << what;
   EXPECT_EQ(a.worker_command, b.worker_command) << what;
   EXPECT_EQ(a.worker_fault, b.worker_fault) << what;
+  EXPECT_EQ(a.worker_fault_at, b.worker_fault_at) << what;
+  EXPECT_EQ(a.worker_timeout_ms, b.worker_timeout_ms) << what;
+  EXPECT_EQ(a.worker_retries, b.worker_retries) << what;
+  EXPECT_EQ(a.allow_partial, b.allow_partial) << what;
+  EXPECT_EQ(a.supervised, b.supervised) << what;
 }
 
 void expect_results_bitwise_equal(const abv::CampaignResult& a,
@@ -153,6 +173,18 @@ void expect_results_bitwise_equal(const abv::CampaignResult& a,
   std::memcpy(&abits, &a.recognizer_state_coverage, 8);
   std::memcpy(&bbits, &b.recognizer_state_coverage, 8);
   EXPECT_EQ(abits, bbits) << what << " (recognizer_state_coverage bits)";
+  EXPECT_EQ(a.worker_retries, b.worker_retries) << what;
+  ASSERT_EQ(a.shard_failures.size(), b.shard_failures.size()) << what;
+  for (std::size_t i = 0; i < a.shard_failures.size(); ++i) {
+    EXPECT_EQ(a.shard_failures[i].worker, b.shard_failures[i].worker) << what;
+    EXPECT_EQ(a.shard_failures[i].shard, b.shard_failures[i].shard) << what;
+    EXPECT_EQ(a.shard_failures[i].unit_begin, b.shard_failures[i].unit_begin)
+        << what;
+    EXPECT_EQ(a.shard_failures[i].unit_end, b.shard_failures[i].unit_end)
+        << what;
+    EXPECT_EQ(a.shard_failures[i].diagnostic, b.shard_failures[i].diagnostic)
+        << what;
+  }
 }
 
 // Frames a payload and parses it back, asserting the frame layer is

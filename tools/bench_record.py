@@ -5,7 +5,8 @@ Runs the headline benchmark shapes and normalizes their
 --benchmark_format=json output into two committed snapshots:
 
   BENCH_campaign.json   bench_throughput: BM_CampaignMutationHeavy,
-                        BM_CampaignIncremental, BM_CampaignManyProperties
+                        BM_CampaignIncremental, BM_CampaignManyProperties,
+                        BM_WorkerSupervision
   BENCH_scaling.json    bench_scaling: the threads sweep (pinned args)
 
 Each snapshot carries a machine fingerprint (cpu count, build type,
@@ -43,10 +44,12 @@ NON_COUNTER_FIELDS = {
 # unit counts), so every counter in the snapshot is reproducible and only
 # the wall times carry machine noise.  BM_WireRoundTrip rides along: the
 # wire codec is the floor under cross-process sharding, so its frame rate
-# and allocs/frame are part of the tracked trajectory.
+# and allocs/frame are part of the tracked trajectory.  BM_WorkerSupervision
+# pins the supervised (poll-based) drain against the legacy blocking drain
+# so the supervision overhead stays a diffable number.
 CAMPAIGN_FILTER = (
     "^(BM_CampaignMutationHeavy|BM_CampaignIncremental|"
-    "BM_CampaignManyProperties|BM_WireRoundTrip)/"
+    "BM_CampaignManyProperties|BM_WireRoundTrip|BM_WorkerSupervision)/"
 )
 
 # Pinned threads-sweep arguments: 4 threads, 8 seeds, auto backend,
