@@ -4,7 +4,7 @@
 //
 //   $ ./examples/parallel_campaign [threads] [seeds] [auto|drct|viapsl|vm]
 //                                  [--incremental=on|off]
-//                                  [--checkpoint-stride=N]
+//                                  [--checkpoint-stride=N] [--lanes=N]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +21,7 @@ namespace {
 constexpr const char* kUsage =
     "usage: parallel_campaign [threads] [seeds] [auto|drct|viapsl|vm]\n"
     "                         [--incremental=on|off] [--checkpoint-stride=N]\n"
+    "                         [--lanes=N]\n"
     "                         [--workers=N] [--worker-timeout-ms=N]\n"
     "                         [--worker-retries=N] [--allow-partial=on|off]\n"
     "\n"
@@ -33,6 +34,11 @@ constexpr const char* kUsage =
     "                       bit-identical either way)\n"
     "  --checkpoint-stride=N  events between checkpoint snapshots on each\n"
     "                       valid trace (default 32, N >= 1)\n"
+    "  --lanes=N            mutant-wave width for the lane-batched VM replay\n"
+    "                       (default 8, N >= 1; 1 = the scalar per-mutant\n"
+    "                       loop; result-neutral — the runs stay\n"
+    "                       bit-identical at every width; widths > 1 need\n"
+    "                       the vm or auto backend)\n"
     "  --workers=N          additionally run the campaigns across N worker\n"
     "                       subprocesses (exec'd copies of this binary\n"
     "                       speaking the wire format on pipes) and compare\n"
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
   // Flags may appear anywhere; positionals keep their order.
   bool incremental = true;
   std::size_t checkpoint_stride = 32;
+  std::size_t lanes = 8;
   std::size_t workers = 0;
   std::size_t worker_timeout_ms = 0;
   std::size_t worker_retries = 0;
@@ -120,6 +127,13 @@ int main(int argc, char** argv) {
             argv[k] + 20);
       }
       checkpoint_stride = *parsed;
+    } else if (std::strncmp(argv[k], "--lanes=", 8) == 0) {
+      const auto parsed = support::parse_positive(argv[k] + 8);
+      if (!parsed) {
+        return usage_error("bad --lanes value (want a positive count): %s\n",
+                           argv[k] + 8);
+      }
+      lanes = *parsed;
     } else if (std::strncmp(argv[k], "--", 2) == 0) {
       return usage_error("unknown option: %s\n", argv[k]);
     } else {
@@ -180,6 +194,15 @@ int main(int argc, char** argv) {
   opt.backend = *backend;
   opt.incremental_replay = incremental;
   opt.checkpoint_stride = checkpoint_stride;
+  // Catch the contradiction here as a usage error (exit 2) instead of
+  // letting run_campaigns throw it mid-run.
+  if (lanes > 1 && (*backend == mon::Backend::Drct ||
+                    *backend == mon::Backend::ViaPSL)) {
+    return usage_error(
+        "--lanes > 1 needs the vm or auto backend, got: %s\n",
+        mon::to_string(*backend));
+  }
+  opt.lane_width = lanes;
 
   // Show what the campaigns will execute: each property's translate-once
   // plan, rendered through the plan's own interned alphabet snapshot (no
@@ -274,12 +297,18 @@ int main(int argc, char** argv) {
   std::size_t checkpoint_hits = 0;
   std::size_t events_skipped = 0;
   std::size_t events_stepped = 0;
+  std::size_t lane_waves = 0;
+  std::size_t lanes_filled = 0;
+  std::size_t lane_capacity = 0;
   for (const auto& r : parallel) {
     stamped += r.compile_stats.instances_stamped;
     reused += r.compile_stats.instance_reuses;
     checkpoint_hits += r.checkpoint_hits;
     events_skipped += r.events_skipped;
     events_stepped += static_cast<std::size_t>(r.monitor_stats.events);
+    lane_waves += static_cast<std::size_t>(r.lane_waves);
+    lanes_filled += static_cast<std::size_t>(r.lanes_filled);
+    lane_capacity += static_cast<std::size_t>(r.lane_capacity);
   }
   std::printf(
       "compiled plans: %zu properties translated once each; "
@@ -298,6 +327,15 @@ int main(int argc, char** argv) {
                         : 100.0 * static_cast<double>(events_skipped) /
                               static_cast<double>(replayable),
         replayable);
+  }
+  if (lane_waves > 0) {
+    std::printf(
+        "lane-batched waves (width %zu): %zu waves, %zu/%zu lanes filled "
+        "(%.0f%% occupancy)\n",
+        lanes, lane_waves, lanes_filled, lane_capacity,
+        lane_capacity == 0 ? 0.0
+                           : 100.0 * static_cast<double>(lanes_filled) /
+                                 static_cast<double>(lane_capacity));
   }
   std::printf("serial:   %7.1f ms\n", serial_s * 1e3);
   std::printf("parallel: %7.1f ms  (%.2fx on %zu threads)\n",

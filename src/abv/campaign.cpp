@@ -149,6 +149,21 @@ struct UnitScratch {
   std::optional<sim::Scheduler> replay_sched;
   std::optional<mon::MonitorModule> replay_module;
 
+  // Wave arena (lane-batched mutant replay, CampaignOptions::lane_width):
+  // per-lane reusable mutant slots — each ratchets its capacity like
+  // `mutant` — plus the VmLaneBatch the wave scheduler fills and runs, and
+  // the per-wave trace/start scatter vectors.  Unlike the monitor pool the
+  // batch survives shard boundaries: it borrows nothing (it shares
+  // ownership of the program) and carries no draw accounting, so the wave
+  // scheduler just rebuilds it whenever the shard's program or the lane
+  // width differs from what it was built for — every lane is restored or
+  // reset before it runs either way.
+  std::vector<MutationResult> lane_mutants;
+  std::unique_ptr<mon::VmLaneBatch> lane_batch;
+  std::vector<const spec::Trace*> lane_traces;
+  std::vector<std::size_t> lane_starts;
+  std::vector<const mon::Snapshot*> lane_rungs;
+
   /// Drops every pooled instance; buffers keep their capacity.  Also the
   /// end-of-shard cleanup, so nothing borrowed (monitor, alphabet) can
   /// dangle past the campaign in a worker's thread-local scratch.
@@ -359,6 +374,121 @@ void run_valid_unit(const CampaignJob& job, spec::Alphabet& ab,
   }
 }
 
+// Lane-batched wave execution of one mutation unit's inner loop (the
+// tentpole of CampaignOptions::lane_width): mutants are mutated into
+// per-lane scratch slots until the wave holds lane_width reference-rejected
+// mutants (or the unit runs out), each lane is restored from its own
+// checkpoint-ladder floor rung — the same mon::Snapshot rungs the scalar
+// path restores, written by a pooled VmMonitor and read back into a batch
+// lane, which the shared snapshot format makes exact — and the whole wave
+// advances through VmLaneBatch's block-lockstep with per-lane
+// suffix starts.  Verdicts, kill accounting and MonitorStats then merge
+// per lane in buffering order, which is exactly the scalar mutant order.
+//
+// Byte-for-byte contract (the eighth invariant, campaign_lane_diff_test):
+// every counter this produces — semantic and diagnostic alike, minus the
+// wave accounting itself — equals the scalar loop's.  Three facts carry
+// that: mutate_into and the oracle run before buffering, in mutant order,
+// drawing the same Rng stream; a batch lane is bit-equal to a solo
+// VmMonitor (mon_bytecode_test's lockstep ≡ solo); and the logical
+// per-mutant pool draw is replicated on the shard's pooled slot, so the
+// stamp/reuse accounting never depends on the lane knob.
+void run_mutation_wave(const CampaignJob& job, spec::Alphabet& ab,
+                       const CampaignOptions& options,
+                       const spec::Trace& valid, const CachedSeedTrace* ladder,
+                       std::size_t k, MutationStats& stats, support::Rng& rng,
+                       UnitScratch& scratch, ShardOutcome& out) {
+  const spec::Property& property = *job.property;
+  const mon::CompiledProperty& compiled = job.plan->compiled;
+  const std::size_t width = options.lane_width;
+  if (scratch.lane_mutants.size() < width) scratch.lane_mutants.resize(width);
+  if (scratch.lane_batch == nullptr ||
+      &scratch.lane_batch->program() != compiled.vm_program_shared().get() ||
+      scratch.lane_batch->lanes() != width) {
+    // Worker-pooled, beyond shard boundaries: the batch shares ownership
+    // of the program and every lane is restored/reset before running, so
+    // only a program or width change forces a rebuild.
+    scratch.lane_batch = std::make_unique<mon::VmLaneBatch>(
+        compiled.vm_program_shared(), width);
+  }
+  mon::VmLaneBatch& batch = *scratch.lane_batch;
+  scratch.lane_traces.clear();
+  scratch.lane_starts.clear();
+  scratch.lane_rungs.clear();
+
+  const auto flush = [&] {
+    const std::size_t wave = scratch.lane_traces.size();
+    if (wave == 0) return;
+    ++out.partial.lane_waves;
+    out.partial.lanes_filled += wave;
+    out.partial.lane_capacity += width;
+    for (std::size_t lane = 0; lane < wave; ++lane) {
+      // Replicate the scalar path's logical pool draw: the wave replays
+      // through batch lanes, but the draw accounting — and the pooled slot
+      // itself, which this shard's valid units share — must not depend on
+      // the lane knob.  The physical reset is skipped (the lane, not the
+      // slot, carries the mutant's state); the next unit to actually use
+      // the slot resets or restores it first, like every unit does.
+      draw_pooled(scratch.monitor, job, options, ab, mon::Backend::Auto, out,
+                  /*skip_reset=*/true);
+      const mon::Snapshot* rung = scratch.lane_rungs[lane];
+      if (rung != nullptr) {
+        batch.restore(lane, *rung);
+        ++out.partial.checkpoint_hits;
+        out.partial.events_skipped += scratch.lane_starts[lane];
+      } else {
+        batch.reset(lane);
+      }
+    }
+    batch.run(scratch.lane_traces, scratch.lane_starts);
+    for (std::size_t lane = 0; lane < wave; ++lane) {
+      batch.finish(lane, end_of(*scratch.lane_traces[lane]));
+      if (batch.verdict(lane) == mon::Verdict::Violated) {
+        ++stats.detected;
+      } else {
+        ++stats.missed;
+      }
+      out.partial.monitor_stats.merge(batch.stats(lane));
+    }
+    scratch.lane_traces.clear();
+    scratch.lane_starts.clear();
+    scratch.lane_rungs.clear();
+  };
+
+  for (std::size_t m = 0; m < options.mutants_per_kind; ++m) {
+    // Fill the next free lane slot; a mutant the oracle accepts (or a kind
+    // that does not apply) leaves the slot free for the next draw.
+    MutationResult& mutant = scratch.lane_mutants[scratch.lane_traces.size()];
+    if (!mutate_into(valid, kAllKinds[k], property, compiled.alphabet(), rng,
+                     mutant)) {
+      continue;
+    }
+    ++stats.applied;
+    const auto mref =
+        oracle_check(job, options, mutant.trace, end_of(mutant.trace));
+    if (!mref.rejected()) continue;
+    ++stats.invalid;
+    // Floor-rung resolution, verbatim from the scalar path.
+    std::size_t replay_begin = 0;
+    const mon::Snapshot* rung = nullptr;
+    if (ladder != nullptr && !ladder->checkpoints.empty()) {
+      const std::size_t whole_strides = mutant.position / ladder->stride;
+      const std::size_t rungs =
+          std::min(whole_strides, ladder->checkpoints.size());
+      if (rungs > 0) {
+        rung = &ladder->checkpoints[rungs - 1];
+        replay_begin = rungs * ladder->stride;
+      }
+    }
+    LOOM_DASSERT(replay_begin <= mutant.trace.size());
+    scratch.lane_traces.push_back(&mutant.trace);
+    scratch.lane_starts.push_back(replay_begin);
+    scratch.lane_rungs.push_back(rung);
+    if (scratch.lane_traces.size() == width) flush();
+  }
+  flush();  // the unit's final, usually partial, wave
+}
+
 void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
                        const CampaignOptions& options, std::size_t s,
                        std::size_t slot, SeedTraceCache* cache,
@@ -379,6 +509,18 @@ void run_mutation_unit(const CampaignJob& job, spec::Alphabet& ab,
   auto& stats = out.partial.mutation[k];
   support::Rng rng = support::Rng::stream(options.first_seed + s, slot);
   const bool pooled = pool_monitors(options);
+  // Wave execution wants lanes to fill (lane_width > 1), VM frames to
+  // restore into (chosen backend Vm), the pooled arena (the lane batch is
+  // pool machinery) and batched replay (the wave IS a batch).  Any other
+  // combination runs the scalar loop below — silently, because Auto may
+  // legitimately resolve elsewhere; a *forced* non-Vm backend with
+  // lane_width > 1 was already rejected by run_campaigns.
+  if (options.lane_width > 1 && pooled && options.batch_replay &&
+      job.plan->compiled.chosen() == mon::Backend::Vm) {
+    run_mutation_wave(job, ab, options, valid, ladder, k, stats, rng, scratch,
+                      out);
+    return;
+  }
   // Fresh-path monitor: stamped per unit (compiled) or per mutant (legacy
   // translation), exactly like the pre-scratch engine.  The scratch path
   // draws from the shard pool instead.
@@ -1156,6 +1298,14 @@ std::vector<PropertyPlan> compile_property_plans(
   // The cross-check instantiates ViaPSL monitors next to Drct units, so the
   // clause set must be materialized even when the chosen backend is Drct.
   copt.with_viapsl_artifact = options.check_viapsl;
+  // Campaign Auto resolves the Drct/Vm cost-model tie to Vm — the
+  // wall-clock winner, and the only backend whose frames the lane-batched
+  // wave scheduler can restore into.  Set unconditionally (not gated on
+  // use_compiled_plans or lane_width): both the compiled and the legacy
+  // translation legs compile through here, so invariant 3 sees one
+  // resolution, and the lane knob can never move the chosen backend —
+  // which invariant 8 needs.
+  copt.prefer_vm = true;
   for (std::size_t p = 0; p < properties.size(); ++p) {
     PropertyPlan& plan = plans[p];
     plan.property = properties[p];
@@ -1186,6 +1336,26 @@ std::vector<PropertyPlan> compile_property_plans(
 std::vector<CampaignResult> run_campaigns(
     const std::vector<const spec::Property*>& properties, spec::Alphabet& ab,
     const CampaignOptions& options) {
+  if (options.lane_width == 0) {
+    throw std::invalid_argument(
+        "CampaignOptions::lane_width must be at least 1 (1 is the scalar "
+        "path; the default wave width is 8)");
+  }
+  // Waves replay through VmLaneBatch frames, so a campaign that *forces* a
+  // backend without VM frames while asking for lanes is contradictory —
+  // refuse it rather than silently ignore one of the two requests.  Auto
+  // stays fine at any width: when it resolves away from Vm (a ViaPSL cost
+  // win) the engine just runs the scalar loop.
+  if (options.lane_width > 1 && (options.backend == mon::Backend::Drct ||
+                                 options.backend == mon::Backend::ViaPSL)) {
+    throw std::invalid_argument(
+        std::string("CampaignOptions::lane_width > 1 needs the Vm backend "
+                    "(lane-batched waves replay through VmLaneBatch frames), "
+                    "but backend=") +
+        mon::to_string(options.backend) +
+        " was forced; use backend=vm or auto, or lane_width=1 for the "
+        "scalar path");
+  }
   // Setup runs serially on the caller: intern everything stimuli
   // generation could lazily intern, then translate every property exactly
   // once — plan tables, backend choice, ViaPSL clause sets — so both the
@@ -1267,6 +1437,9 @@ std::vector<CampaignResult> run_campaigns(
     result.trace_cache_misses += out.partial.trace_cache_misses;
     result.checkpoint_hits += out.partial.checkpoint_hits;
     result.events_skipped += out.partial.events_skipped;
+    result.lane_waves += out.partial.lane_waves;
+    result.lanes_filled += out.partial.lanes_filled;
+    result.lane_capacity += out.partial.lane_capacity;
     if (out.alphabet) alphabet_covs[p].merge(*out.alphabet);
     if (out.recognizer) {
       if (rec_covs[p]) {
@@ -1529,6 +1702,8 @@ CampaignResult::diagnostic_counters() const {
   const double reuses = static_cast<double>(compile_stats.instance_reuses);
   const double skipped = static_cast<double>(events_skipped);
   const double stepped = static_cast<double>(monitor_stats.events);
+  const double filled = static_cast<double>(lanes_filled);
+  const double capacity = static_cast<double>(lane_capacity);
   return {
       {"trace_cache_hit_rate", ratio(trace_hits, trace_hits + trace_misses)},
       {"plan_cache_hit_rate", ratio(plan_hits, plan_hits + plan_misses)},
@@ -1536,6 +1711,12 @@ CampaignResult::diagnostic_counters() const {
       {"checkpoint_hits", static_cast<double>(checkpoint_hits)},
       {"events_skipped", skipped},
       {"skip_ratio", ratio(skipped, skipped + stepped)},
+      // How full the waves ran: filled lanes over offered capacity.  A
+      // scalar campaign (no waves) reports 0 by the guard; a drop in a
+      // batched campaign means waves flushing emptier — a scheduling
+      // regression tools/bench_compare.py gates on.
+      {"lane_occupancy", ratio(filled, capacity)},
+      {"lane_waves", static_cast<double>(lane_waves)},
       {"backend_viapsl",
        compile_stats.backend_chosen == mon::Backend::ViaPSL ? 1.0 : 0.0},
       {"backend_vm",
@@ -1589,6 +1770,12 @@ std::string CampaignResult::report(const spec::Alphabet&,
                   "replay: %zu checkpoint restores, %zu prefix events "
                   "skipped\n",
                   checkpoint_hits, events_skipped);
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "lanes: %llu waves, %llu/%llu lanes filled\n",
+                  static_cast<unsigned long long>(lane_waves),
+                  static_cast<unsigned long long>(lanes_filled),
+                  static_cast<unsigned long long>(lane_capacity));
     out += buf;
   }
   // Semantic, not diagnostic: a degraded run (allow_partial absorbing an

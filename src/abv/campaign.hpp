@@ -24,8 +24,9 @@
 //!   compiled ≡ per-unit      (compiled_plan_diff_test)
 //!   scratch/pooled ≡ fresh   (campaign_scratch_diff_test)
 //!   incremental ≡ full replay (campaign_incremental_diff_test)
+//!   lane-batched ≡ scalar    (campaign_lane_diff_test)
 //! A run with threads=N, any shard size, any cache/batch/plan/scratch/
-//! checkpoint knob setting is bit-identical to the serial legacy run —
+//! checkpoint/lane knob setting is bit-identical to the serial legacy run —
 //! same counts, same coverage ratios, same report text.
 #pragma once
 
@@ -195,6 +196,22 @@ struct CampaignOptions {
   /// Clean runs are byte-identical either way.
   bool supervised = true;
 
+  /// Wave width for lane-batched mutant replay: up to this many mutants of
+  /// one (seed × property × kind) unit are mutated into per-lane slots,
+  /// each lane restored from its own checkpoint-ladder floor rung, and the
+  /// whole wave advanced through mon::VmLaneBatch's block-lockstep
+  /// lockstep — the program's route tables stay hot while lane state
+  /// streams.  1 is the scalar path (one mutant at a time, the historical
+  /// loop), kept alive as the differential baseline.  Waves need the Vm
+  /// backend plus pooled scratch and batched replay; when Auto resolves to
+  /// another backend or a scratch/batch knob is off, the engine silently
+  /// runs scalar — but *forcing* a non-Vm backend with lane_width > 1
+  /// throws std::invalid_argument, since that request is contradictory.
+  /// Result-neutral at every width: the eighth differential invariant
+  /// (campaign_lane_diff_test) holds lane-batched byte-for-byte equal to
+  /// scalar at any width, thread count, worker count and knob setting.
+  std::size_t lane_width = 8;
+
   /// Optional cross-campaign plan cache (borrowed; must outlive the call):
   /// when set, compile_property_plans() memoizes each property's
   /// translate-once artifacts under its normalized text, so repeated
@@ -311,6 +328,18 @@ struct CampaignResult {
   /// invariant — so this count lives with the other per-process
   /// diagnostics: excluded from report() and results_identical.
   std::size_t worker_retries = 0;
+
+  /// Lane-batched wave accounting (all 0 when every unit ran scalar):
+  /// waves flushed through VmLaneBatch, the lanes those waves actually
+  /// filled, and the capacity they offered (lane_waves × lane_width — the
+  /// result carries it so lanes_filled / lane_capacity, the occupancy,
+  /// survives merging and the wire without knowing the knob).  The final
+  /// wave of a unit is usually partial, which is what occupancy < 1 means.
+  /// Engine diagnostics like the checkpoint counters: deterministic for a
+  /// given knob setting, excluded from report() and results_identical.
+  std::uint64_t lane_waves = 0;
+  std::uint64_t lanes_filled = 0;
+  std::uint64_t lane_capacity = 0;
 
   /// One shard a cross-process campaign could not execute: its worker slot
   /// exhausted every retry and options.allow_partial chose degradation

@@ -85,12 +85,14 @@ CompiledProperty CompiledProperty::compile(const spec::Property& property,
       break;
     case Backend::Auto: {
       // Per-event work of each construction, from the analytic model alone:
-      // nothing is materialized to make this choice.  Ties go to Drct.
+      // nothing is materialized to make this choice.  Drct and Vm tie by
+      // construction (the VM runs Drct's op schedule); prefer_vm breaks
+      // the tie toward the wall-clock winner, default keeps Drct.
       const std::uint64_t viapsl_ops =
           c.viapsl_cost_.ops_per_token + c.viapsl_cost_.lexer_ops;
       c.chosen_ = c.viapsl_feasible_ && viapsl_ops < c.drct_ops_
                       ? Backend::ViaPSL
-                      : Backend::Drct;
+                      : (options.prefer_vm ? Backend::Vm : Backend::Drct);
       break;
     }
   }
@@ -135,6 +137,7 @@ std::string CompiledPropertyCache::key_of(const spec::Property& property,
   key += "|max_clauses=";
   key += std::to_string(options.max_clauses);
   if (options.with_viapsl_artifact) key += "|viapsl_artifact";
+  if (options.prefer_vm) key += "|prefer_vm";
   return key;
 }
 

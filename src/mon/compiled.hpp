@@ -78,6 +78,15 @@ struct CompileOptions {
   /// Materialize the ViaPSL encoding even when the chosen backend is Drct
   /// (the campaign's check_viapsl cross-check instantiates both sides).
   bool with_viapsl_artifact = false;
+  /// Auto tie-break: the VM executes Drct's exact abstract op schedule, so
+  /// the two tie under the Figure-6 cost model and ties historically went
+  /// to Drct.  With prefer_vm set, Auto resolves that tie to Vm instead —
+  /// the wall-clock winner (flat dispatch loop, lane-batchable frames) —
+  /// while a ViaPSL cost win still takes precedence.  The campaign engine
+  /// sets this on both its compiled and legacy translation paths, so the
+  /// compiled ≡ per-unit invariant sees one resolution; standalone
+  /// compile() keeps the historic Drct default.
+  bool prefer_vm = false;
 };
 
 class CompiledProperty {
@@ -114,14 +123,20 @@ class CompiledProperty {
 
   /// The compiled bytecode program; nullptr unless chosen()==Vm.
   const VmProgram* vm_program() const { return vm_program_.get(); }
+  /// Owning form of the same artifact, for executors that outlive a plain
+  /// borrow or batch many frames over one program (mon::VmLaneBatch takes
+  /// shared ownership, exactly like a stamped VmMonitor does).
+  std::shared_ptr<const VmProgram> vm_program_shared() const {
+    return vm_program_;
+  }
 
   /// Analytic per-event operation estimates that drive the Auto choice.
   std::uint64_t drct_ops_per_event() const { return drct_ops_; }
   /// The VM executes the Drct plan's exact abstract op schedule (that is
   /// its bit-identity contract), so its analytic per-event cost equals the
-  /// Drct estimate — which is why Auto, whose ties go to Drct, never
-  /// resolves to Vm on its own: the VM is an explicit opt-in, not a cost
-  /// winner under the paper's Figure-6 operation count.
+  /// Drct estimate — the Drct/Vm choice is a pure tie under the paper's
+  /// Figure-6 operation count, broken by CompileOptions::prefer_vm
+  /// (default off: ties go Drct, the historic behavior).
   std::uint64_t vm_ops_per_event() const { return drct_ops_; }
   const psl::PslCost& viapsl_cost() const { return viapsl_cost_; }
   /// False when the ViaPSL construction cannot be materialized (shape or

@@ -1,5 +1,6 @@
 #include "mon/vm.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "mon/snapshot.hpp"
@@ -574,78 +575,103 @@ std::optional<sim::Time> VmMonitor::deadline() const {
   return std::nullopt;
 }
 
-void VmMonitor::snapshot(Snapshot& out) const {
+void vm_snapshot(const VmProgram& p, const VmFrameRef& f, Snapshot& out) {
   out.clear();
   out.put_u64(snapshot_tag(kSnapshotKind));
   // Shape guard: a snapshot only restores into an instance of the same
   // program shape (cf. ClauseMonitor's clause-count check).
-  out.put_u64(program_->range_total);
-  out.put_u64(program_->frag_count);
-  stats_.snapshot(out);
-  out.put_u64(active_);
-  for (std::uint32_t r = 0; r < program_->range_total; ++r) {
-    out.put_u64(range_state_[r]);
-    out.put_u64(range_cpt_[r]);
-    out.put_string(range_reason_[r]);
+  out.put_u64(p.range_total);
+  out.put_u64(p.frag_count);
+  f.stats->snapshot(out);
+  out.put_u64(*f.active);
+  for (std::uint32_t r = 0; r < p.range_total; ++r) {
+    out.put_u64(f.range_state[r]);
+    out.put_u64(f.range_cpt[r]);
+    out.put_string(f.range_reason[r]);
   }
-  for (std::uint32_t frag = 0; frag < program_->frag_count; ++frag) {
-    out.put_bool(frag_min_complete_[frag] != 0);
-    out.put_bool(frag_in_progress_[frag] != 0);
-    out.put_time(frag_min_time_[frag]);
+  for (std::uint32_t frag = 0; frag < p.frag_count; ++frag) {
+    out.put_bool(f.frag_min_complete[frag] != 0);
+    out.put_bool(f.frag_in_progress[frag] != 0);
+    out.put_time(f.frag_min_time[frag]);
   }
-  out.put_u64(static_cast<std::uint64_t>(verdict_));
-  snapshot_violation(out, violation_);
-  out.put_bool(armed_ != 0);
-  out.put_bool(q_done_ != 0);
-  out.put_time(t_start_);
-  out.put_time(t_stop_);
-  out.put_u64(validated_or_rounds_);
-  out.put_u64(ordinal_);
+  out.put_u64(static_cast<std::uint64_t>(*f.verdict));
+  snapshot_violation(out, *f.violation);
+  out.put_bool(*f.armed != 0);
+  out.put_bool(*f.q_done != 0);
+  out.put_time(*f.t_start);
+  out.put_time(*f.t_stop);
+  out.put_u64(*f.validated_or_rounds);
+  out.put_u64(*f.ordinal);
 }
 
-void VmMonitor::restore(const Snapshot& in) {
+void vm_restore(const VmProgram& p, const VmFrameRef& f, const Snapshot& in,
+                const char* who) {
   SnapshotReader r(in);
-  check_snapshot_tag(r.u64(), kSnapshotKind, "VmMonitor::restore");
-  if (r.u64() != program_->range_total || r.u64() != program_->frag_count) {
-    throw std::logic_error(
-        "VmMonitor::restore: snapshot of a different program shape");
+  check_snapshot_tag(r.u64(), kSnapshotKind, who);
+  if (r.u64() != p.range_total || r.u64() != p.frag_count) {
+    throw std::logic_error(std::string(who) +
+                           ": snapshot of a different program shape");
   }
-  stats_.restore(r);
-  active_ = static_cast<std::uint32_t>(r.u64());
-  for (std::uint32_t i = 0; i < program_->range_total; ++i) {
-    range_state_[i] = static_cast<std::uint8_t>(r.u64());
-    range_cpt_[i] = static_cast<std::uint32_t>(r.u64());
-    r.string_into(range_reason_[i]);
+  f.stats->restore(r);
+  *f.active = static_cast<std::uint32_t>(r.u64());
+  for (std::uint32_t i = 0; i < p.range_total; ++i) {
+    f.range_state[i] = static_cast<std::uint8_t>(r.u64());
+    f.range_cpt[i] = static_cast<std::uint32_t>(r.u64());
+    r.string_into(f.range_reason[i]);
   }
-  for (std::uint32_t frag = 0; frag < program_->frag_count; ++frag) {
-    frag_min_complete_[frag] = r.boolean() ? 1 : 0;
-    frag_in_progress_[frag] = r.boolean() ? 1 : 0;
-    frag_min_time_[frag] = r.time();
+  for (std::uint32_t frag = 0; frag < p.frag_count; ++frag) {
+    f.frag_min_complete[frag] = r.boolean() ? 1 : 0;
+    f.frag_in_progress[frag] = r.boolean() ? 1 : 0;
+    f.frag_min_time[frag] = r.time();
   }
-  verdict_ = static_cast<Verdict>(r.u64());
-  restore_violation(r, violation_);
-  armed_ = r.boolean() ? 1 : 0;
-  q_done_ = r.boolean() ? 1 : 0;
-  t_start_ = r.time();
-  t_stop_ = r.time();
-  validated_or_rounds_ = r.u64();
-  ordinal_ = r.u64();
+  *f.verdict = static_cast<Verdict>(r.u64());
+  restore_violation(r, *f.violation);
+  *f.armed = r.boolean() ? 1 : 0;
+  *f.q_done = r.boolean() ? 1 : 0;
+  *f.t_start = r.time();
+  *f.t_stop = r.time();
+  *f.validated_or_rounds = r.u64();
+  *f.ordinal = r.u64();
   LOOM_DASSERT(r.exhausted());  // format drift: snapshot wrote more fields
 }
 
+void VmMonitor::snapshot(Snapshot& out) const {
+  vm_snapshot(*program_, frame_, out);
+}
+
+void VmMonitor::restore(const Snapshot& in) {
+  vm_restore(*program_, frame_, in, "VmMonitor::restore");
+}
+
 // --- VmLaneBatch ----------------------------------------------------------
+
+namespace {
+
+// Rounds a per-lane row length up so each lane's row starts on a 64-byte
+// cache-line boundary in the flat lane-major arrays (element sizes here are
+// 1, 4, 8 or 32 bytes — all divide or are multiples of 64 after the
+// element-count rounding below, so one count-level stride serves every
+// array of the same row).
+std::size_t lane_stride(std::size_t count) {
+  constexpr std::size_t kLine = 64;
+  return (count + kLine - 1) / kLine * kLine;
+}
+
+}  // namespace
 
 VmLaneBatch::VmLaneBatch(std::shared_ptr<const VmProgram> program,
                          std::size_t lanes)
     : program_(std::move(program)),
       lanes_(lanes),
-      range_state_(lanes * program_->range_total,
+      range_stride_(lane_stride(program_->range_total)),
+      frag_stride_(lane_stride(program_->frag_count)),
+      range_state_(lanes * range_stride_,
                    static_cast<std::uint8_t>(RS::Idle)),
-      range_cpt_(lanes * program_->range_total, 0),
-      range_reason_(lanes * program_->range_total),
-      frag_min_complete_(lanes * program_->frag_count, 0),
-      frag_in_progress_(lanes * program_->frag_count, 0),
-      frag_min_time_(lanes * program_->frag_count),
+      range_cpt_(lanes * range_stride_, 0),
+      range_reason_(lanes * range_stride_),
+      frag_min_complete_(lanes * frag_stride_, 0),
+      frag_in_progress_(lanes * frag_stride_, 0),
+      frag_min_time_(lanes * frag_stride_),
       active_(lanes, 0),
       verdict_(lanes, Verdict::Monitoring),
       violation_(lanes),
@@ -665,16 +691,32 @@ VmLaneBatch::VmLaneBatch(std::shared_ptr<const VmProgram> program,
 
 VmFrameRef VmLaneBatch::make_ref(std::size_t lane) {
   return VmFrameRef{
-      range_state_.data() + lane * program_->range_total,
-      range_cpt_.data() + lane * program_->range_total,
-      range_reason_.data() + lane * program_->range_total,
-      frag_min_complete_.data() + lane * program_->frag_count,
-      frag_in_progress_.data() + lane * program_->frag_count,
-      frag_min_time_.data() + lane * program_->frag_count,
+      range_state_.data() + lane * range_stride_,
+      range_cpt_.data() + lane * range_stride_,
+      range_reason_.data() + lane * range_stride_,
+      frag_min_complete_.data() + lane * frag_stride_,
+      frag_in_progress_.data() + lane * frag_stride_,
+      frag_min_time_.data() + lane * frag_stride_,
       &active_[lane], &verdict_[lane], &violation_[lane], &stats_[lane],
       &armed_[lane], &q_done_[lane], &t_start_[lane], &t_stop_[lane],
       &validated_or_rounds_[lane], &ordinal_[lane]};
 }
+
+namespace {
+
+// Lockstep block size: lanes advance together in windows of this many
+// suffix positions, and within a window each lane's sub-slice runs through
+// vm_run_batch's hoisted inner loop — the per-event entry overhead (code
+// pointer reload, per-event stats flush) is paid once per block per lane
+// instead of once per event, while lanes still stay within one block of
+// each other, so the shared program tables and every used frame remain
+// hot.  Lanes are independent frames: relative alignment is a pure
+// scheduling choice, and vm_run_batch accumulates ops/events and folds
+// max-ops exactly like per-event stepping, so the block size is invisible
+// in every result byte (mon_bytecode_test locks lockstep ≡ solo).
+constexpr std::size_t kLockstepBlock = 64;
+
+}  // namespace
 
 void VmLaneBatch::run(const std::vector<const spec::Trace*>& traces) {
   LOOM_DASSERT(traces.size() == lanes_);
@@ -683,12 +725,41 @@ void VmLaneBatch::run(const std::vector<const spec::Trace*>& traces) {
     if (t->size() > longest) longest = t->size();
   }
   const VmFrameRef* const frames = frames_.data();
-  for (std::size_t e = 0; e < longest; ++e) {
+  for (std::size_t b = 0; b < longest; b += kLockstepBlock) {
     for (std::size_t lane = 0; lane < lanes_; ++lane) {
       const spec::Trace& t = *traces[lane];
-      if (e < t.size()) {
-        vm_step_event(*program_, frames[lane], t[e].name, t[e].time);
-      }
+      if (b >= t.size()) continue;
+      const std::size_t end = std::min(t.size(), b + kLockstepBlock);
+      vm_run_batch(*program_, frames[lane], t.data() + b, t.data() + end);
+    }
+  }
+}
+
+void VmLaneBatch::run(const std::vector<const spec::Trace*>& traces,
+                      const std::vector<std::size_t>& starts) {
+  // A partial wave steps only the first traces.size() lanes; the rest are
+  // untouched (the campaign's final wave per unit is usually partial).
+  const std::size_t used = traces.size();
+  LOOM_DASSERT(used <= lanes_);
+  LOOM_DASSERT(starts.size() == used);
+  // Lockstep by suffix position: lane l's block b covers its events
+  // [starts[l] + b·B, starts[l] + (b+1)·B) — each lane still sees exactly
+  // its own suffix in order, which is all bit-identity needs.
+  std::size_t longest = 0;
+  for (std::size_t lane = 0; lane < used; ++lane) {
+    const std::size_t size = traces[lane]->size();
+    const std::size_t suffix = size > starts[lane] ? size - starts[lane] : 0;
+    if (suffix > longest) longest = suffix;
+  }
+  const VmFrameRef* const frames = frames_.data();
+  for (std::size_t b = 0; b < longest; b += kLockstepBlock) {
+    for (std::size_t lane = 0; lane < used; ++lane) {
+      const spec::Trace& t = *traces[lane];
+      const std::size_t begin = starts[lane] + b;
+      if (begin >= t.size()) continue;
+      const std::size_t end = std::min(t.size(), begin + kLockstepBlock);
+      vm_run_batch(*program_, frames[lane], t.data() + begin,
+                   t.data() + end);
     }
   }
 }

@@ -6,7 +6,7 @@
 //!     frame, the drop-in peer of the Drct/ViaPSL monitors in campaigns,
 //!     CLIs and diff grids;
 //!   - VmLaneBatch: L frames over one shared program laid out lane-major in
-//!     contiguous arrays, advanced event-index-major — the shape a campaign
+//!     contiguous arrays, advanced block-lockstep — the shape a campaign
 //!     shard wants for many mutants of the same (seed × property): the
 //!     program's route tables stay hot while the per-lane state streams.
 //!
@@ -73,6 +73,15 @@ void vm_run_batch(const VmProgram& p, const VmFrameRef& f,
                   const spec::TimedEvent* begin, const spec::TimedEvent* end);
 void vm_finish(const VmProgram& p, const VmFrameRef& f, sim::Time end_time);
 void vm_poll(const VmProgram& p, const VmFrameRef& f, sim::Time now);
+/// Serializes / restores one frame's complete mutable state through
+/// mon::Snapshot — the same format (tag word, shape guard, field order)
+/// whether the frame is a VmMonitor's own or one lane of a VmLaneBatch,
+/// which is what lets a campaign restore a checkpoint-ladder rung (written
+/// by a pooled VmMonitor) straight into a batch lane.  `who` names the
+/// caller in the foreign-format / shape-mismatch diagnostics.
+void vm_snapshot(const VmProgram& p, const VmFrameRef& f, Snapshot& out);
+void vm_restore(const VmProgram& p, const VmFrameRef& f, const Snapshot& in,
+                const char* who);
 
 /// The Monitor implementation behind Backend::Vm.
 class VmMonitor final : public Monitor {
@@ -140,7 +149,7 @@ class VmMonitor final : public Monitor {
 /// Each lane is semantically an independent VmMonitor — same verdicts, same
 /// stats (tests/mon_bytecode_test.cpp locks the equivalence) — but the
 /// frames are contiguous and the program tables are shared, so advancing
-/// many mutants of one (seed × property) event-index-major keeps both in
+/// many mutants of one (seed × property) in block-lockstep keeps both in
 /// cache.
 class VmLaneBatch {
  public:
@@ -159,11 +168,22 @@ class VmLaneBatch {
                      const spec::TimedEvent* end) {
     vm_run_batch(*program_, frames_[lane], begin, end);
   }
-  /// Event-index-major lockstep over per-lane traces (the mutant-replay
-  /// shape): event e of every lane is stepped before event e+1 of any —
-  /// lanes whose trace is exhausted simply sit out the tail.  Equivalent,
-  /// bit for bit, to running each lane's trace through its own monitor.
+  /// Block-lockstep over per-lane traces (the mutant-replay shape): lanes
+  /// advance together in fixed event-index windows, each lane's sub-slice
+  /// running through vm_run_batch's hoisted inner loop — lanes whose trace
+  /// is exhausted simply sit out the tail.  Equivalent, bit for bit, to
+  /// running each lane's trace through its own monitor.
   void run(const std::vector<const spec::Trace*>& traces);
+  /// Suffix-replay lockstep: lane l steps only events
+  /// [starts[l], traces[l]->size()) of its trace — the checkpointed-mutant
+  /// shape, where each lane was restored from its floor rung and owes only
+  /// its own suffix.  Lockstep is by suffix position (relative index), so
+  /// uneven starts and uneven lengths both just sit out the tail; with all
+  /// starts zero and every lane used this is exactly run(traces).  A
+  /// partial wave (traces.size() < lanes()) steps only the listed lanes
+  /// and leaves the rest untouched.
+  void run(const std::vector<const spec::Trace*>& traces,
+           const std::vector<std::size_t>& starts);
   void finish(std::size_t lane, sim::Time end_time) {
     vm_finish(*program_, frames_[lane], end_time);
   }
@@ -171,6 +191,16 @@ class VmLaneBatch {
     vm_poll(*program_, frames_[lane], now);
   }
   void reset(std::size_t lane) { vm_reset(*program_, frames_[lane]); }
+  /// Lane-addressed snapshot/restore, format-identical to VmMonitor's:
+  /// restoring a VmMonitor-written snapshot (e.g. a checkpoint-ladder rung)
+  /// into lane l reproduces that monitor's state bit for bit, other lanes
+  /// untouched.
+  void snapshot(std::size_t lane, Snapshot& out) const {
+    vm_snapshot(*program_, frames_[lane], out);
+  }
+  void restore(std::size_t lane, const Snapshot& in) {
+    vm_restore(*program_, frames_[lane], in, "VmLaneBatch::restore");
+  }
 
   Verdict verdict(std::size_t lane) const { return verdict_[lane]; }
   const std::optional<Violation>& violation(std::size_t lane) const {
@@ -184,6 +214,14 @@ class VmLaneBatch {
 
   std::shared_ptr<const VmProgram> program_;
   std::size_t lanes_ = 0;
+  // Per-lane row strides, rounded up from range_total / frag_count so every
+  // lane's row starts on a cache-line boundary in the flat arrays below —
+  // lockstep stepping never has two lanes' hot words sharing a line.  The
+  // interpreter only ever touches [0, range_total) / [0, frag_count) of a
+  // row through the VmFrameRef, so the padding slack is dead space, not
+  // state.
+  std::size_t range_stride_ = 0;
+  std::size_t frag_stride_ = 0;
   std::vector<std::uint8_t> range_state_;
   std::vector<std::uint32_t> range_cpt_;
   std::vector<std::string> range_reason_;

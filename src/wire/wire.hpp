@@ -44,8 +44,11 @@ namespace loom::wire {
 /// positioned diagnostic (never a misparse).  Version 2 extended the
 /// CampaignOptions payload with the supervision knobs (timeout, retries,
 /// allow_partial, fault position) and the CampaignResult payload with the
-/// per-shard failure records of degraded runs.
-constexpr std::uint8_t kWireVersion = 2;
+/// per-shard failure records of degraded runs.  Version 3 added the
+/// lane-batched wave surface: the lane_width knob in CampaignOptions and
+/// the lane_waves / lanes_filled / lane_capacity counters in
+/// CampaignResult.
+constexpr std::uint8_t kWireVersion = 3;
 
 /// "LOOM" as a little-endian u32 (the file starts with the bytes L O O M).
 constexpr std::uint32_t kMagic = 0x4D4F4F4Cu;

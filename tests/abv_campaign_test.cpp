@@ -61,6 +61,10 @@ TEST(Campaign, MutationsAreActuallyKilled) {
   opt.seeds = 8;
   opt.stimuli.rounds = 2;
   opt.mutants_per_kind = 10;
+  // Recognizer-state coverage is sampled from the Drct recognizer only, so
+  // force that backend (scalar lanes: Drct has no VM frames to wave over).
+  opt.backend = mon::Backend::Drct;
+  opt.lane_width = 1;
   const CampaignResult r = run_campaign(p, ab, opt);
   ASSERT_TRUE(r.ok()) << r.report(ab);
   // The four antecedent-applicable kinds must have produced and killed
@@ -110,8 +114,19 @@ TEST(Campaign, DiagnosticCountersAreFiniteAndGuarded) {
       static_cast<double>(r.events_skipped) /
           static_cast<double>(r.events_skipped + r.monitor_stats.events));
   EXPECT_EQ(value("plan_cache_hit_rate"), 0.0);  // no plan cache configured
-  EXPECT_EQ(value("backend_viapsl"), 0.0);       // cost model picks Drct
-  EXPECT_EQ(value("backend_vm"), 0.0);           // Vm is never an Auto choice
+  EXPECT_EQ(value("backend_viapsl"), 0.0);  // cost model never picks ViaPSL
+  // Campaign Auto resolves the Drct/Vm cost-model tie to the VM (the
+  // prefer_vm tie-break), so the default campaign reports backend_vm = 1.
+  EXPECT_EQ(value("backend_vm"), 1.0);
+  // Lane occupancy is a true ratio of the wave counters, in (0, 1]; the
+  // default campaign (lane_width 8, Vm frames) runs waves.
+  EXPECT_GT(r.lane_waves, 0u);
+  EXPECT_DOUBLE_EQ(value("lane_occupancy"),
+                   static_cast<double>(r.lanes_filled) /
+                       static_cast<double>(r.lane_capacity));
+  EXPECT_GT(value("lane_occupancy"), 0.0);
+  EXPECT_LE(value("lane_occupancy"), 1.0);
+  EXPECT_EQ(value("lane_waves"), static_cast<double>(r.lane_waves));
   for (const auto& c : r.diagnostic_counters()) {
     EXPECT_TRUE(std::isfinite(c.value)) << c.name;
   }
@@ -130,8 +145,10 @@ TEST(Campaign, VmBackendRunsAndReportsItsCounter) {
   opt.stimuli.rounds = 2;
   opt.mutants_per_kind = 6;
   opt.backend = mon::Backend::Drct;
+  opt.lane_width = 1;  // forced Drct has no VM frames to wave over
   const CampaignResult drct = run_campaign(p, ab, opt);
   opt.backend = mon::Backend::Vm;
+  opt.lane_width = 8;  // the forced-Vm leg waves at the default width
   const CampaignResult vm = run_campaign(p, ab, opt);
 
   ASSERT_TRUE(vm.ok()) << vm.report(ab);

@@ -32,6 +32,7 @@ CampaignRun run_with(const char* source, std::size_t threads, std::size_t shard_
   opt.threads = threads;
   opt.shard_size = shard_size;
   opt.backend = backend;
+  loom::testing::scalar_lanes_if_forced(opt);
   const CampaignResult r = run_campaign(p, ab, opt);
   return {r, r.report(ab)};
 }

@@ -42,6 +42,7 @@ CampaignRun run_with(const char* source, mon::Backend backend, bool compiled,
   opt.mutants_per_kind = 6;
   opt.check_viapsl = viapsl;
   opt.backend = backend;
+  loom::testing::scalar_lanes_if_forced(opt);
   opt.use_compiled_plans = compiled;
   opt.threads = threads;
   opt.shard_size = 1;  // maximal interleaving: every unit its own shard
@@ -107,8 +108,10 @@ TEST_P(CompiledPlanDiff, CompileStatsAccountTheTranslationWork) {
   EXPECT_EQ(compiled.result.compile_stats.plans_built, 1u);
   EXPECT_EQ(legacy.result.compile_stats.plans_built, 1u);
   // Auto resolves via the cost model; for every property of the paper's
-  // evaluation the Drct construction is cheaper per event (Figure 6).
-  EXPECT_EQ(compiled.result.compile_stats.backend_chosen, mon::Backend::Drct);
+  // evaluation the Drct construction is cheaper per event than ViaPSL
+  // (Figure 6), and the campaign's prefer_vm tie-break then lands the
+  // Drct/Vm tie on the VM.
+  EXPECT_EQ(compiled.result.compile_stats.backend_chosen, mon::Backend::Vm);
   EXPECT_EQ(compiled.result.compile_stats.backend_requested,
             mon::Backend::Auto);
   // One instance per valid unit at least; the legacy path stamps at least
@@ -163,7 +166,7 @@ TEST(CompiledPlanDiff, BatchCampaignCompilesOnePlanPerProperty) {
   ASSERT_EQ(results.size(), 2u);
   for (const auto& r : results) {
     EXPECT_EQ(r.compile_stats.plans_built, 1u);
-    EXPECT_EQ(r.compile_stats.backend_chosen, mon::Backend::Drct);
+    EXPECT_EQ(r.compile_stats.backend_chosen, mon::Backend::Vm);
   }
 
   const auto plans = compile_property_plans(ptrs, ab, opt);
@@ -193,6 +196,53 @@ TEST(CompiledProperty, AutoConsultsTheCostModelAndPicksDrct) {
   // Drct chosen and no cross-check requested: no clause set materialized.
   EXPECT_EQ(c.encoding(), nullptr);
   EXPECT_THROW((void)c.instantiate(mon::Backend::ViaPSL), std::logic_error);
+}
+
+TEST(CompiledProperty, PreferVmResolvesTheAutoTieToVm) {
+  // The campaign engine's tie-break (CompileOptions::prefer_vm): the VM
+  // executes Drct's exact op schedule, so the two tie under the cost model
+  // and the flag decides the winner — while a genuine ViaPSL cost win
+  // still takes precedence over both.
+  spec::Alphabet ab;
+  const spec::Property p = loom::testing::parse(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)", ab);
+  mon::CompileOptions opt;
+  opt.prefer_vm = true;
+  const auto c = mon::CompiledProperty::compile(p, ab, opt);
+  EXPECT_EQ(c.requested(), mon::Backend::Auto);
+  // The precedence rule, pinned against the exposed analytic costs: ViaPSL
+  // wins iff feasible and strictly cheaper, otherwise prefer_vm lands the
+  // Drct/Vm tie on the VM.
+  const std::uint64_t viapsl_ops =
+      c.viapsl_cost().ops_per_token + c.viapsl_cost().lexer_ops;
+  const mon::Backend expected =
+      c.viapsl_feasible() && viapsl_ops < c.drct_ops_per_event()
+          ? mon::Backend::ViaPSL
+          : mon::Backend::Vm;
+  EXPECT_EQ(c.chosen(), expected);
+  EXPECT_EQ(c.chosen(), mon::Backend::Vm);  // Drct is cheaper here (Fig. 6)
+  // The VM artifact is materialized for the chosen backend, and an
+  // instance stamps without error.
+  ASSERT_NE(c.vm_program(), nullptr);
+  EXPECT_NE(c.instantiate(), nullptr);
+  EXPECT_EQ(c.vm_ops_per_event(), c.drct_ops_per_event());
+}
+
+TEST(CompiledProperty, PreferVmIsPartOfThePlanCacheKey) {
+  // Two compilations differing only in prefer_vm must not alias: their
+  // chosen backends (and materialized artifacts) differ.
+  spec::Alphabet ab;
+  const spec::Property p = loom::testing::parse("(n << i, true)", ab);
+  mon::CompileOptions drct_tie;
+  mon::CompileOptions vm_tie;
+  vm_tie.prefer_vm = true;
+  EXPECT_NE(mon::CompiledPropertyCache::key_of(p, ab, drct_tie),
+            mon::CompiledPropertyCache::key_of(p, ab, vm_tie));
+  mon::CompiledPropertyCache cache;
+  (void)cache.get_or_compile(p, ab, drct_tie);
+  (void)cache.get_or_compile(p, ab, vm_tie);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 2u);
 }
 
 TEST(CompiledProperty, ForcedViaPslMaterializesTheClauseSet) {

@@ -5,7 +5,7 @@
 // reports (reason strings included), the Figure-6 op/event/max-ops
 // accounting and the space bits must match event for event, through both
 // MonitorModule batch policies, at random batch cut points, and lane for
-// lane through VmLaneBatch's event-index-major lockstep.  ViaPSL rides
+// lane through VmLaneBatch's block-lockstep.  ViaPSL rides
 // along as the relational cross-check: a clause-network rejection must
 // always be confirmed by the VM (no false alarms, psl_equivalence_test's
 // relation 1 per prefix).
@@ -19,6 +19,7 @@
 #include "mon/compiled.hpp"
 #include "mon/monitor_module.hpp"
 #include "mon/monitors.hpp"
+#include "mon/snapshot.hpp"
 #include "mon/vm.hpp"
 #include "psl/clause_monitor.hpp"
 #include "sim/scheduler.hpp"
@@ -446,7 +447,7 @@ TEST(MonBytecodeLanes, LockstepLanesEqualIndependentMonitors) {
 
 TEST(MonBytecodeLanes, PerLaneBatchSlicesMatchTheLockstepRun) {
   // observe_batch on individual lanes at arbitrary cuts lands on the same
-  // bytes as run()'s event-index-major sweep.
+  // bytes as run()'s block-lockstep sweep.
   spec::Alphabet ab;
   const spec::Property p = loom::testing::parse(
       "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)", ab);
@@ -486,6 +487,132 @@ TEST(MonBytecodeLanes, PerLaneBatchSlicesMatchTheLockstepRun) {
     EXPECT_EQ(lockstep.violation(l).has_value(),
               sliced.violation(l).has_value())
         << "lane " << l;
+  }
+}
+
+TEST(MonBytecodeLanes, MidWaveRestoreResumesLockstepBitForBit) {
+  // The campaign's wave shape: each lane is either reset fresh or restored
+  // from a snapshot taken at a random cut of its own trace, then the whole
+  // wave resumes in block-lockstep over per-lane suffixes.
+  // Every lane — restored or not — must land on the same bytes as a solo
+  // VmMonitor that ran its full trace without interruption.  Snapshots are
+  // written by a *solo* monitor and restored into a *lane*, crossing the
+  // shared format exactly the way a checkpoint-ladder rung does.
+  for (const auto& c : kCases) {
+    spec::Alphabet ab;
+    const spec::Property p = loom::testing::parse(c.source, ab);
+    const auto names = names_of(p, ab);
+    const auto program = compile_vm(p);
+
+    for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}, std::size_t{8},
+                                    std::size_t{13}}) {
+      VmLaneBatch lanes(program, width);
+      for (std::uint64_t round = 0; round < 4; ++round) {
+        support::Rng rng =
+            support::Rng::stream(0x5A7E + round * 131 + width, 7);
+        std::vector<spec::Trace> traces;
+        std::vector<std::size_t> starts;
+        std::vector<std::unique_ptr<VmMonitor>> solos;
+        for (std::size_t l = 0; l < width; ++l) {
+          traces.push_back(fuzz_trace(names, rng));
+          auto solo = std::make_unique<VmMonitor>(program);
+          const spec::Trace& t = traces.back();
+          if (!t.empty() && rng.below(2) != 0) {
+            // Restored lane: the solo runs a random prefix, a snapshot of
+            // it primes the lane, and the lane owes only the suffix.
+            const std::size_t cut = 1 + rng.below(t.size());
+            for (std::size_t i = 0; i < cut; ++i) {
+              solo->observe(t[i].name, t[i].time);
+            }
+            Snapshot snap;
+            solo->snapshot(snap);
+            lanes.restore(l, snap);
+            starts.push_back(cut);
+          } else {
+            lanes.reset(l);
+            starts.push_back(0);
+          }
+          solos.push_back(std::move(solo));
+        }
+        std::vector<const spec::Trace*> ptrs;
+        for (const auto& t : traces) ptrs.push_back(&t);
+
+        lanes.run(ptrs, starts);
+
+        for (std::size_t l = 0; l < width; ++l) {
+          const spec::Trace& t = traces[l];
+          for (std::size_t i = starts[l]; i < t.size(); ++i) {
+            solos[l]->observe(t[i].name, t[i].time);
+          }
+          const sim::Time end =
+              t.empty() ? sim::Time::zero() : t.back().time;
+          lanes.finish(l, end);
+          solos[l]->finish(end);
+          const std::string what = std::string(c.label) + " width " +
+                                   std::to_string(width) + " round " +
+                                   std::to_string(round) + " lane " +
+                                   std::to_string(l) + " start " +
+                                   std::to_string(starts[l]);
+          EXPECT_EQ(lanes.verdict(l), solos[l]->verdict()) << what;
+          ASSERT_EQ(lanes.violation(l).has_value(),
+                    solos[l]->violation().has_value())
+              << what;
+          if (lanes.violation(l) && solos[l]->violation()) {
+            EXPECT_EQ(lanes.violation(l)->event_ordinal,
+                      solos[l]->violation()->event_ordinal)
+                << what;
+            EXPECT_EQ(lanes.violation(l)->reason,
+                      solos[l]->violation()->reason)
+                << what;
+          }
+          EXPECT_EQ(lanes.stats(l).ops, solos[l]->stats().ops) << what;
+          EXPECT_EQ(lanes.stats(l).events, solos[l]->stats().events) << what;
+          EXPECT_EQ(lanes.stats(l).max_ops_per_event,
+                    solos[l]->stats().max_ops_per_event)
+              << what;
+        }
+      }
+    }
+  }
+}
+
+TEST(MonBytecodeLanes, PartialWavesLeaveUnlistedLanesUntouched) {
+  // run(traces, starts) with fewer traces than lanes — the campaign's
+  // trailing flush — steps only the listed lanes; the remaining frames
+  // must stay exactly as reset() left them, ready for the next wave.
+  spec::Alphabet ab;
+  const spec::Property p = loom::testing::parse(
+      "(({n1, n2}, &) < ({n3[2,8], n4}, |) < n5 << i, true)", ab);
+  const auto names = names_of(p, ab);
+  const auto program = compile_vm(p);
+
+  constexpr std::size_t kLanes = 8;
+  VmLaneBatch lanes(program, kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) lanes.reset(l);
+  // reset() charges the activation ops a fresh monitor carries; that is
+  // the exact state an untouched lane must still show after the wave.
+  const std::uint64_t ops_after_reset = lanes.stats(0).ops;
+
+  constexpr std::size_t kUsed = 3;
+  support::Rng rng = support::Rng::stream(0xF111, 11);
+  std::vector<spec::Trace> traces;
+  for (std::size_t l = 0; l < kUsed; ++l) {
+    traces.push_back(fuzz_trace(names, rng));
+  }
+  std::vector<const spec::Trace*> ptrs;
+  for (const auto& t : traces) ptrs.push_back(&t);
+  const std::vector<std::size_t> starts(kUsed, 0);
+
+  lanes.run(ptrs, starts);
+
+  for (std::size_t l = 0; l < kUsed; ++l) {
+    EXPECT_EQ(lanes.stats(l).events, traces[l].size()) << "lane " << l;
+  }
+  for (std::size_t l = kUsed; l < kLanes; ++l) {
+    EXPECT_EQ(lanes.stats(l).events, 0u) << "lane " << l;
+    EXPECT_EQ(lanes.stats(l).ops, ops_after_reset) << "lane " << l;
+    EXPECT_EQ(lanes.verdict(l), Verdict::Monitoring) << "lane " << l;
   }
 }
 

@@ -5,6 +5,7 @@ fixture pairs in tools/testdata/bench_compare/ — one per gate verdict:
   fresh_pass                 inside every tolerance            -> exit 0
   fresh_wall_regress         +60% wall on one benchmark        -> exit 1
   fresh_counter_regress      allocs/mutant up, skip_ratio down -> exit 1
+  fresh_lane_occupancy_drop  lane_occupancy down > 0.02        -> exit 1
   fresh_fingerprint_mismatch different cpu count               -> exit 0 skip
                              (exit 1 under --strict-fingerprint)
   fresh_missing_benchmark    baseline coverage lost            -> exit 1
@@ -58,6 +59,17 @@ class BenchCompareGate(unittest.TestCase):
         # Counter regressions are hard failures: no wall tolerance excuses
         # them.
         proc = run_compare("fresh_counter_regress.json",
+                           "--wall-tolerance", "10.0")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_lane_occupancy_drop_fails(self):
+        # lane_occupancy is a semantic ratio of the wave engine: a drop
+        # beyond 0.02 absolute means waves stopped filling (or stopped
+        # running) and fails the gate no matter how good the wall time is.
+        proc = run_compare("fresh_lane_occupancy_drop.json")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("lane_occupancy", proc.stdout)
+        proc = run_compare("fresh_lane_occupancy_drop.json",
                            "--wall-tolerance", "10.0")
         self.assertEqual(proc.returncode, 1, proc.stdout)
 
